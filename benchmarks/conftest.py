@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper: it runs the
+experiment once (via ``benchmark.pedantic(..., rounds=1)``, so
+pytest-benchmark reports the experiment's wall time), prints the
+paper-style rows/series to the live terminal, and writes them to
+``benchmarks/results/<name>.txt`` for the record.  Shape assertions —
+who wins, by roughly what factor, where crossovers fall — run against
+the measured numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(capsys, name: str, text: str) -> None:
+    """Print ``text`` to the real terminal and persist it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    with capsys.disabled():
+        print(f"\n===== {name} =====")
+        print(text)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,56 @@
+"""§3.2 / §4.2 accuracy claims measured in vivo.
+
+* Energy estimation via Eq. 1 with calibrated weights errs < 10 %
+  against the multimeter for real-world applications (§3.2).
+* Estimating energy and then temperature through the thermal model errs
+  by less than one Kelvin (§4.2).
+
+Measured over the full mixed workload on the full machine, both SMT
+settings."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis.report import format_table
+from repro.api import run_simulation
+from repro.config import SystemConfig
+from repro.cpu.topology import MachineSpec
+from repro.workloads.generator import mixed_table2_workload
+
+DURATION_S = 300.0
+
+
+def test_estimation_accuracy(benchmark, capsys):
+    def experiment():
+        out = {}
+        for smt in (False, True):
+            config = SystemConfig(
+                machine=MachineSpec.ibm_x445(smt=smt),
+                max_power_per_cpu_w=60.0 if not smt else 30.0,
+                seed=21,
+            )
+            wl = mixed_table2_workload(6 if smt else 3)
+            out[smt] = run_simulation(config, wl, duration_s=DURATION_S)
+        return out
+
+    runs = run_once(benchmark, experiment)
+
+    rows = []
+    for smt, result in runs.items():
+        rows.append(
+            [
+                "SMT on" if smt else "SMT off",
+                f"{result.estimation_error() * 100:.2f}%",
+                f"{result.max_temperature_error_k:.3f} K",
+            ]
+        )
+    table = format_table(
+        ["machine", "mean energy est. error", "max temperature est. error"],
+        rows,
+        title="Estimator accuracy (paper: < 10 % energy, < 1 K temperature)",
+    )
+    emit(capsys, "estimator_error", table)
+
+    for smt, result in runs.items():
+        assert result.estimation_error() < 0.10, f"smt={smt}"
+        assert result.max_temperature_error_k < 1.0, f"smt={smt}"

@@ -1,0 +1,83 @@
+"""Extension (§7) — unit-aware scheduling for same-power tasks.
+
+The paper's future-work prediction: with multiple temperatures per chip
+and per-unit task characterisation, "energy-aware scheduling would even
+be beneficial for tasks having the same power consumption, if they
+dissipate energy at different functional units, as is the case with
+floating point and integer applications."
+
+We stack two 50 W integer burners on one CPU and two 50 W FP burners on
+another (every queue's *total* power identical), with per-unit
+throttling at 56 degC, and compare three balancers:
+
+* none — the stacked units overheat and throttle;
+* total-power (the paper's published policy) — blind: zero swaps,
+  identical to none;
+* unit-aware — one swap pairs INT with FP on each CPU, no unit ever
+  throttles, throughput rises by >10 %."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis.report import format_table
+from repro.hotspot.experiment import (
+    HotspotExperimentConfig,
+    run_hotspot_experiment,
+)
+from repro.hotspot.units import FunctionalUnit
+
+
+def test_extension_unit_aware_scheduling(benchmark, capsys):
+    def experiment():
+        config = HotspotExperimentConfig(duration_s=180.0)
+        hetero = {
+            policy: run_hotspot_experiment(config, policy)
+            for policy in ("none", "total", "unit")
+        }
+        homog = {
+            policy: run_hotspot_experiment(
+                HotspotExperimentConfig(tasks="iiii", duration_s=180.0), policy
+            )
+            for policy in ("total", "unit")
+        }
+        return hetero, homog
+
+    hetero, homog = run_once(benchmark, experiment)
+
+    rows = []
+    for policy, result in hetero.items():
+        rows.append(
+            [policy, result.swaps, f"{result.throttle_fraction * 100:.1f}%",
+             f"{result.max_unit_temp_c:.1f} C",
+             f"{result.throughput_vs(hetero['none']) * 100:+.1f}%"]
+        )
+    table = format_table(
+        ["balancer", "swaps", "unit throttling", "max unit temp",
+         "throughput vs none"],
+        rows,
+        title=("Extension (§7): 2x intfire + 2x fpfire, all 50 W, "
+               "unit limit 56 degC"),
+    )
+    table += (
+        "\n\nhomogeneous control (4x intfire): unit-aware gains "
+        f"{homog['unit'].throughput_vs(homog['total']) * 100:+.2f}% "
+        "(nothing to balance)"
+    )
+    emit(capsys, "extension_hotspot", table)
+
+    # Shape assertions.
+    assert hetero["total"].swaps == 0, "scalar profiles cannot see the imbalance"
+    assert hetero["total"].throttle_fraction == hetero["none"].throttle_fraction
+    assert hetero["none"].throttle_fraction > 0.05
+    assert hetero["unit"].throttle_fraction == 0.0
+    assert hetero["unit"].throughput_vs(hetero["total"]) > 0.10
+    # The stacked runs overheat a *unit* even though package power is
+    # identical across CPUs.
+    assert hetero["none"].max_unit_temp_c > 56.0
+    assert hetero["unit"].max_unit_temp_c < 56.0
+    # Homogeneous corner case: no benefit.
+    assert abs(homog["unit"].throughput_vs(homog["total"])) < 0.01
+    # Sanity: the hot units in the stacked run are INT_ALU and FPU.
+    assert set(hetero["none"].hottest_unit_by_cpu) == {
+        FunctionalUnit.INT_ALU, FunctionalUnit.FPU,
+    }

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Task energy profiling from event counters (§3).
+
+Shows the estimation pipeline below the scheduler:
+
+1. calibrate the linear Eq. 1 estimator against "multimeter" readings
+   (least squares over the test programs, as the authors did);
+2. run each program and compare estimated vs true power — the paper's
+   < 10 % error claim;
+3. watch a task's *energy profile* (the variable-period exponential
+   average of §3.3) track a phase change while shrugging off a spike.
+
+Run:  python examples/energy_profiling.py
+"""
+
+import random
+
+from repro.analysis.report import format_table
+from repro.core.estimator import build_calibrated_estimator
+from repro.core.profile import EnergyProfile, ProfileConfig
+from repro.cpu.frequency import ExecutionModel
+from repro.cpu.power import GroundTruthPower, PowerModelParams
+from repro.workloads.programs import PROGRAMS, program
+
+
+def main() -> None:
+    power = GroundTruthPower(PowerModelParams())
+    exec_model = ExecutionModel()
+    rng = random.Random(42)
+
+    estimator = build_calibrated_estimator(
+        power, exec_model, PROGRAMS.values(), rng
+    )
+    print("calibrated Eq. 1 weights (nJ/event):")
+    print(f"  base {estimator.base_w:.1f} W x busy time  +  "
+          + "  ".join(f"{w:.1f}" for w in estimator.weights_nj))
+    print()
+
+    rows = []
+    for name in ("bitcnts", "memrw", "aluadd", "pushpop", "bzip2"):
+        behavior = program(name).build_behavior(power, exec_model.freq_hz, rng)
+        mix = behavior.step(0.1)
+        cycles = exec_model.effective_cycles(0.1, sibling_busy=False)
+        est = estimator.power_w(mix.rates_per_cycle * cycles, 0.1)
+        true = 20.0 + power.dynamic_power_w(mix.rates_per_cycle, exec_model.freq_hz)
+        rows.append([name, f"{true:.1f} W", f"{est:.1f} W",
+                     f"{abs(est - true) / true:.1%}"])
+    print(format_table(["program", "true power", "estimated", "error"], rows,
+                       title="counter-based power estimation (paper: <10% error)"))
+
+    print("\nenergy profile dynamics (p = 0.25 per 100 ms timeslice):")
+    profile = EnergyProfile(ProfileConfig(), initial_power_w=45.0)
+    timeline = (
+        [("steady 45 W", 45.0)] * 4
+        + [("SPIKE 80 W", 80.0)]
+        + [("steady 45 W", 45.0)] * 4
+        + [("phase change to 60 W", 60.0)] * 8
+    )
+    for label, watts in timeline:
+        profile.record(watts * 0.1, 0.1)
+        bar = "#" * int(profile.power_w - 30)
+        print(f"  sample {label:22s} -> profile {profile.power_w:5.1f} W  {bar}")
+    print("\na one-timeslice spike barely moves the profile; a real phase"
+          "\nchange dominates it after a few timeslices (§3.3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Hot task migration: a single hot task tours the machine (§6.4).
+
+One bitcnts task (~61 W) runs on the SMT machine with a 40 W budget per
+physical package.  Every ~10 seconds the package it runs on approaches
+its limit and the scheduler migrates the task to the coolest suitable
+package — never to an SMT sibling, never across the NUMA node boundary.
+The alternative (staying put and throttling) would cost 40+ % of the
+task's throughput, because a halted Pentium 4 still draws 13.6 W.
+
+Run:  python examples/hot_task_tour.py
+"""
+
+from repro import (
+    MachineSpec,
+    SystemConfig,
+    ThermalParams,
+    ThrottleConfig,
+    compare_policies,
+    run_simulation,
+    single_program_workload,
+)
+
+DURATION_S = 200.0
+
+
+def main() -> None:
+    config = SystemConfig(
+        machine=MachineSpec.ibm_x445(smt=True),
+        max_power_per_cpu_w=20.0,  # 40 W per physical package
+        thermal=ThermalParams(r_k_per_w=0.30, c_j_per_k=50.0),
+        seed=3,
+    )
+    workload = single_program_workload("bitcnts", 1)
+
+    print("one bitcnts (~61 W), 40 W package budget, no throttling:\n")
+    result = run_simulation(config, workload, policy="energy",
+                            duration_s=DURATION_S)
+    print("  time    migration            (node 0 = CPUs 0-3 + siblings 8-11)")
+    for event in result.migration_events():
+        src, dst = event.detail["src"], event.detail["dst"]
+        print(f"  {event.time_ms / 1000.0:6.1f}s  CPU {src} -> CPU {dst}")
+    print(f"\n  the task tours the packages of one node in round-robin;"
+          f"\n  {len(result.migration_events())} migrations in "
+          f"{DURATION_S:.0f} s (~1 per 10 s, as in the paper's Figure 9)\n")
+
+    print("now with throttling enforcing the 40 W budget:")
+    throttled_config = SystemConfig(
+        machine=MachineSpec.ibm_x445(smt=True),
+        max_power_per_cpu_w=20.0,
+        thermal=ThermalParams(r_k_per_w=0.30, c_j_per_k=50.0),
+        throttle=ThrottleConfig(enabled=True, scope="package"),
+        seed=3,
+    )
+    cmp = compare_policies(throttled_config, workload, duration_s=DURATION_S)
+    base_throttle = max(
+        cmp.baseline.throttle_fraction(c) for c in range(16)
+    )
+    print(f"  vanilla scheduler : task pinned by inertia, its CPU throttled "
+          f"{base_throttle:.0%} of the time")
+    print(f"  energy-aware      : task migrates ahead of the limit, "
+          f"throughput {cmp.throughput_gain:+.0%}   (paper: +76%)")
+
+
+if __name__ == "__main__":
+    main()

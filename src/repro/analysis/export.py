@@ -1,0 +1,119 @@
+"""Trace export: CSV time series and JSON run summaries.
+
+Lets downstream users pull simulation results into pandas / gnuplot /
+notebooks without depending on this package's internals.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable
+
+import numpy as np
+
+from repro.api import SimulationResult
+from repro.sim.trace import TimeSeries
+
+
+def series_to_csv(series_list: Iterable[TimeSeries]) -> str:
+    """Render series sharing a sampling schedule as one CSV table.
+
+    The first column is time; one column per series.  Series sampled on
+    different schedules are linearly interpolated onto the first
+    series' time grid.
+    """
+    series_list = list(series_list)
+    if not series_list:
+        raise ValueError("need at least one series")
+    base = series_list[0]
+    if len(base) < 2:
+        raise ValueError("series too short to export")
+    grid = base.times
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["time_s"] + [s.name for s in series_list])
+    columns = [
+        s.values if len(s) == len(grid) else np.interp(grid, s.times, s.values)
+        for s in series_list
+    ]
+    for i, t in enumerate(grid):
+        writer.writerow([f"{t:.3f}"] + [f"{col[i]:.4f}" for col in columns])
+    return out.getvalue()
+
+
+def events_to_csv(result: SimulationResult) -> str:
+    """All trace events as CSV (time, kind, cpu, pid, detail JSON)."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["time_ms", "kind", "cpu", "pid", "detail"])
+    for event in result.tracer.events:
+        writer.writerow(
+            [event.time_ms, event.kind.value, event.cpu, event.pid,
+             json.dumps(event.detail, sort_keys=True)]
+        )
+    return out.getvalue()
+
+
+def run_summary(result: SimulationResult) -> dict:
+    """A JSON-serialisable summary of one run."""
+    system = result.system
+    summary = {
+        "policy": system.policy_name,
+        "duration_s": result.duration_s,
+        "seed": system.config.seed,
+        "machine": {
+            "nodes": system.config.machine.nodes,
+            "packages_per_node": system.config.machine.packages_per_node,
+            "cores_per_package": system.config.machine.cores_per_package,
+            "threads_per_core": system.config.machine.threads_per_core,
+            "n_cpus": system.n_cpus,
+        },
+        "workload": {
+            "name": system.workload.name,
+            "tasks": system.workload.program_counts(),
+        },
+        "throughput": {
+            "jobs_completed": result.jobs_completed,
+            "fractional_jobs": result.fractional_jobs(),
+            "jobs_per_min": result.throughput_jobs_per_min(),
+        },
+        "migrations": {
+            "total": result.migrations(),
+            "by_reason": {
+                reason: result.migrations(reason)
+                for reason in ("load_balance", "energy_balance", "hot_task",
+                               "exchange", "placement")
+                if result.migrations(reason)
+            },
+        },
+        "throttling": {
+            "average_fraction": result.average_throttle_fraction(),
+            "per_cpu": [
+                result.throttle_fraction(c) for c in range(system.n_cpus)
+            ],
+        },
+        "utilization": {
+            "average": result.average_utilization(),
+            "per_cpu": [
+                result.cpu_utilization(c) for c in range(system.n_cpus)
+            ],
+        },
+        "responsiveness": {
+            "mean_wake_latency_ms": result.mean_wake_latency_ms(),
+            "max_wake_latency_ms": result.max_wake_latency_ms(),
+        },
+        "estimation": {
+            "mean_relative_error": result.estimation_error(),
+            "max_temperature_error_k": result.max_temperature_error_k,
+            "max_temperature_c": result.max_temperature_c,
+        },
+        "counters": result.tracer.counters.as_dict(),
+    }
+    return summary
+
+
+def run_summary_json(result: SimulationResult, indent: int = 2) -> str:
+    """The run summary serialised to JSON text."""
+    return json.dumps(run_summary(result), indent=indent, sort_keys=True)

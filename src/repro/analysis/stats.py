@@ -1,0 +1,94 @@
+"""Experiment statistics: the quantities the paper's tables report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.timeseries import band_width
+from repro.api import SimulationResult
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseChangeStats:
+    """Table 1 statistics for one program.
+
+    ``max_change`` / ``avg_change`` are relative changes of power between
+    successive timeslices: ``|P_i - P_{i-1}| / P_{i-1}``.
+    """
+
+    program: str
+    max_change: float
+    avg_change: float
+    n_slices: int
+
+
+def phase_change_stats(program: str, powers_w: np.ndarray) -> PhaseChangeStats:
+    """Compute Table 1 statistics from a sequence of timeslice powers."""
+    powers_w = np.asarray(powers_w, dtype=float)
+    if len(powers_w) < 2:
+        raise ValueError("need at least two timeslices")
+    if np.any(powers_w <= 0):
+        raise ValueError("timeslice powers must be positive")
+    changes = np.abs(np.diff(powers_w)) / powers_w[:-1]
+    return PhaseChangeStats(
+        program=program,
+        max_change=float(changes.max()),
+        avg_change=float(changes.mean()),
+        n_slices=len(powers_w),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ThrottleRow:
+    """One row of Table 3."""
+
+    cpu: int
+    disabled_pct: float
+    enabled_pct: float
+
+
+def throttle_table(
+    baseline: SimulationResult, energy: SimulationResult, min_pct: float = 0.5
+) -> list[ThrottleRow]:
+    """Per-CPU throttling percentages for two runs (Table 3).
+
+    CPUs throttled below ``min_pct`` percent in both runs are omitted,
+    as the paper omits CPUs "that had to be throttled in neither run".
+    """
+    n = baseline.system.n_cpus
+    rows = []
+    for cpu in range(n):
+        off = baseline.throttle_fraction(cpu) * 100.0
+        on = energy.throttle_fraction(cpu) * 100.0
+        if off >= min_pct or on >= min_pct:
+            rows.append(ThrottleRow(cpu=cpu, disabled_pct=off, enabled_pct=on))
+    return rows
+
+
+def throughput_gain(baseline: SimulationResult, energy: SimulationResult) -> float:
+    """Relative throughput increase of the energy-aware run."""
+    base = baseline.fractional_jobs()
+    if base <= 0:
+        raise ValueError("baseline made no progress")
+    return energy.fractional_jobs() / base - 1.0
+
+
+def curve_band(result: SimulationResult, skip_s: float = 60.0) -> dict[str, float]:
+    """Summary of the thermal-power curve family (Figures 6/7).
+
+    Returns mean/max band width plus the overall maximum thermal power
+    after the warm-up transient.
+    """
+    series = result.all_thermal_power_series()
+    widths = band_width(series, skip_s=skip_s)
+    n = min(len(s) for s in series)
+    times = series[0].times[:n]
+    mask = times >= skip_s
+    peak = max(float(s.values[:n][mask].max()) for s in series)
+    return {
+        "mean_width_w": float(widths.mean()),
+        "max_width_w": float(widths.max()),
+        "peak_thermal_power_w": peak,
+    }

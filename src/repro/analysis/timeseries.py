@@ -1,0 +1,90 @@
+"""Time-series utilities: resampling, band widths, exponential fits.
+
+The paper's figures are families of thermal-power curves; the statistics
+here quantify what the figures show — how wide the family of curves is
+(Figures 6/7) and the exponential rise the thermal model predicts
+(Figure 3, §4.2 calibration).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.trace import TimeSeries
+
+
+def resample(series: TimeSeries, grid_s: np.ndarray) -> np.ndarray:
+    """Linear interpolation of a series onto a common time grid."""
+    times, values = series.times, series.values
+    if len(times) < 2:
+        raise ValueError(f"series {series.name!r} too short to resample")
+    return np.interp(grid_s, times, values)
+
+
+def band_width(series_list: list[TimeSeries], skip_s: float = 0.0) -> np.ndarray:
+    """Width (max - min across curves) of a family of series over time.
+
+    ``skip_s`` drops the initial warm-up transient.  All series must be
+    sampled on the same schedule (true for tracer output).
+    """
+    if not series_list:
+        raise ValueError("need at least one series")
+    n = min(len(s) for s in series_list)
+    times = series_list[0].times[:n]
+    mask = times >= skip_s
+    stacked = np.vstack([s.values[:n] for s in series_list])[:, mask]
+    return stacked.max(axis=0) - stacked.min(axis=0)
+
+
+def steady_window(series: TimeSeries, fraction: float = 0.5) -> np.ndarray:
+    """Values from the trailing ``fraction`` of the run (steady state)."""
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    values = series.values
+    start = int(len(values) * (1 - fraction))
+    return values[start:]
+
+
+def fit_exponential_rise(
+    times_s: np.ndarray, values: np.ndarray
+) -> tuple[float, float, float]:
+    """Fit ``v(t) = final + (initial - final) * exp(-t / tau)``.
+
+    Returns ``(initial, final, tau_s)``.  This is the calibration
+    procedure of §4.2: record temperature over time after a heat step
+    and fit the exponential.  Uses a grid search over tau refined by
+    golden-section, with initial/final solved linearly for each tau —
+    robust without scipy.
+    """
+    times_s = np.asarray(times_s, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if len(times_s) != len(values) or len(times_s) < 4:
+        raise ValueError("need >= 4 matched samples")
+    span = times_s[-1] - times_s[0]
+    if span <= 0:
+        raise ValueError("times must span a positive interval")
+
+    def solve_linear(tau: float) -> tuple[float, float, float]:
+        basis = np.exp(-(times_s - times_s[0]) / tau)
+        a = np.column_stack([1.0 - basis, basis])
+        coeffs, *_ = np.linalg.lstsq(a, values, rcond=None)
+        final, initial = coeffs
+        resid = values - a @ coeffs
+        return initial, final, float(resid @ resid)
+
+    taus = np.geomspace(span / 200.0, span * 3.0, 60)
+    errors = [solve_linear(t)[2] for t in taus]
+    best = int(np.argmin(errors))
+    lo = taus[max(0, best - 1)]
+    hi = taus[min(len(taus) - 1, best + 1)]
+    golden = (np.sqrt(5.0) - 1.0) / 2.0
+    for _ in range(40):
+        mid1 = hi - golden * (hi - lo)
+        mid2 = lo + golden * (hi - lo)
+        if solve_linear(mid1)[2] < solve_linear(mid2)[2]:
+            hi = mid2
+        else:
+            lo = mid1
+    tau = (lo + hi) / 2.0
+    initial, final, _ = solve_linear(tau)
+    return float(initial), float(final), float(tau)

@@ -1,0 +1,76 @@
+"""Command-line interface.
+
+    python -m repro list
+    python -m repro run fig9
+    python -m repro run table3 --duration 600 --seed 42
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import REGISTRY, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Merkel & Bellosa, 'Balancing Power Consumption "
+            "in Multiprocessor Systems' (EuroSys 2006)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the registered experiments")
+
+    run = sub.add_parser("run", help="run one experiment and print its report")
+    run.add_argument("experiment", choices=sorted(REGISTRY),
+                     help="experiment name")
+    run.add_argument("--duration", type=float, default=None, metavar="SECONDS",
+                     help="simulated duration (default: a quick-look value)")
+    run.add_argument("--seed", type=int, default=None,
+                     help="root random seed (default: the committed one)")
+
+    run_file = sub.add_parser(
+        "run-file", help="run a JSON scenario file and print a summary"
+    )
+    run_file.add_argument("path", help="scenario JSON file (see repro.scenario)")
+
+    reproduce = sub.add_parser(
+        "reproduce", help="run every experiment (quick-look durations)"
+    )
+    reproduce.add_argument("--duration", type=float, default=None,
+                           metavar="SECONDS",
+                           help="override every experiment's duration")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in REGISTRY)
+        for name in sorted(REGISTRY):
+            print(f"{name:<{width}}  {REGISTRY[name].description}")
+        return 0
+    if args.command == "run-file":
+        from repro.analysis.export import run_summary_json
+        from repro.scenario import load_scenario
+
+        result = load_scenario(args.path).run()
+        print(run_summary_json(result))
+        return 0
+    if args.command == "reproduce":
+        from repro.experiments import run_all
+
+        print(run_all(duration_s=args.duration))
+        return 0
+    report = run_experiment(args.experiment, duration_s=args.duration,
+                            seed=args.seed)
+    print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

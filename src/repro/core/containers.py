@@ -1,0 +1,120 @@
+"""Energy containers: budget-limiting as an orthogonal policy (§2.3).
+
+The paper positions itself against resource-container work (Banga et
+al.; Waitz/Weissel's energy containers; Ecosystem): those *limit* power
+consumption, while energy-aware scheduling *distributes* it — "different
+and, to a large degree, orthogonal aspects of power management, so that
+our proposed policy ... could be combined with any policy limiting
+overall power consumption."
+
+This module provides that combinable limiter: each capped task owns a
+container that refills at its power cap and is charged the estimated
+energy the task consumes; a task whose container is empty is skipped by
+the dispatcher until the refill catches up.  The long-run effect is an
+average-power cap enforced per task, independently of — and provably
+composable with — energy balancing and hot-task migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sched.task import Task
+
+
+@dataclass(frozen=True, slots=True)
+class ContainerConfig:
+    """Budget of one energy container.
+
+    Attributes
+    ----------
+    refill_w:
+        Refill rate — the task's long-run average power cap.
+    capacity_s:
+        Burst window: the container holds at most
+        ``refill_w * capacity_s`` joules, so a task can burst at full
+        speed for roughly this long before the cap bites.
+    """
+
+    refill_w: float
+    capacity_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.refill_w <= 0:
+            raise ValueError("refill rate must be positive")
+        if self.capacity_s <= 0:
+            raise ValueError("capacity window must be positive")
+
+    @property
+    def capacity_j(self) -> float:
+        return self.refill_w * self.capacity_s
+
+
+class EnergyContainer:
+    """One task's energy budget."""
+
+    __slots__ = ("config", "_balance_j", "charged_j")
+
+    def __init__(self, config: ContainerConfig) -> None:
+        self.config = config
+        self._balance_j = config.capacity_j
+        self.charged_j = 0.0
+
+    @property
+    def balance_j(self) -> float:
+        return self._balance_j
+
+    @property
+    def is_empty(self) -> bool:
+        return self._balance_j <= 0.0
+
+    def refill(self, dt_s: float) -> None:
+        """Accrue budget; the balance saturates at the burst capacity."""
+        if dt_s < 0:
+            raise ValueError("dt must be non-negative")
+        self._balance_j = min(
+            self.config.capacity_j, self._balance_j + self.config.refill_w * dt_s
+        )
+
+    def charge(self, energy_j: float) -> None:
+        """Deduct consumed energy; the balance may go briefly negative
+        (a tick's worth of overdraft), which extends the skip period."""
+        if energy_j < 0:
+            raise ValueError("energy must be non-negative")
+        self._balance_j -= energy_j
+        self.charged_j += energy_j
+
+
+class ContainerManager:
+    """Containers for all capped tasks of one system."""
+
+    def __init__(self) -> None:
+        self._by_pid: dict[int, EnergyContainer] = {}
+
+    def assign(self, task: Task, config: ContainerConfig) -> EnergyContainer:
+        container = EnergyContainer(config)
+        self._by_pid[task.pid] = container
+        return container
+
+    def container_of(self, task: Task) -> EnergyContainer | None:
+        return self._by_pid.get(task.pid)
+
+    def release(self, task: Task) -> None:
+        self._by_pid.pop(task.pid, None)
+
+    def refill_all(self, dt_s: float) -> None:
+        for container in self._by_pid.values():
+            container.refill(dt_s)
+
+    def charge(self, task: Task, energy_j: float) -> None:
+        container = self._by_pid.get(task.pid)
+        if container is not None:
+            container.charge(energy_j)
+
+    def eligible(self, task: Task) -> bool:
+        """May the dispatcher run this task right now?"""
+        container = self._by_pid.get(task.pid)
+        return container is None or not container.is_empty
+
+    def __len__(self) -> int:
+        return len(self._by_pid)

@@ -1,0 +1,153 @@
+"""Hot task migration (paper §4.5, Figure 5; SMT rules §4.7).
+
+Energy balancing cannot help a CPU whose runqueue holds a single hot
+task — there is nothing to combine it with.  Instead, when such a CPU's
+thermal power approaches its maximum power (it is about to hit the
+temperature limit and be throttled), the task is actively migrated to a
+considerably cooler CPU: an idle one, or one running a single cool task
+which is migrated back in exchange (no load imbalance).
+
+The search walks the domain hierarchy bottom-up, skipping SMT-level
+domains — a sibling shares the physical chip, so moving there "does not
+improve the situation".  Heat comparisons therefore use the *package*
+thermal sum (the per-logical thermal powers of all threads on the chip):
+only physical processors overheat, and an idle sibling of a hot thread
+never looks like a cool destination.  If the top level yields no
+destination, all processors are hot and the task stays (throttling is
+the last resort).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.core.metrics import MetricsBoard
+from repro.sched.domains import DomainHierarchy
+from repro.sched.runqueue import RunQueue
+from repro.sched.task import Task
+
+MigrateFn = Callable[[Task, int, int, str], None]
+
+
+@dataclass(frozen=True, slots=True)
+class HotMigrationConfig:
+    """Tunables of hot task migration.
+
+    Attributes
+    ----------
+    trigger_margin_w:
+        Fire when the package thermal sum comes within this margin of
+        the package's maximum power (§4.5's "predefined threshold").
+    min_delta_w:
+        The destination package must be at least this much cooler than
+        the source package ("considerably cooler" — limits migration
+        frequency).
+    cool_task_margin_w:
+        A destination running one task qualifies only if that task's
+        profile is this much below the hot task's profile.
+    """
+
+    trigger_margin_w: float = 1.0
+    min_delta_w: float = 10.0
+    cool_task_margin_w: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.trigger_margin_w < 0:
+            raise ValueError("trigger margin must be non-negative")
+        if self.min_delta_w <= 0:
+            raise ValueError("min delta must be positive")
+        if self.cool_task_margin_w < 0:
+            raise ValueError("cool task margin must be non-negative")
+
+
+class HotTaskMigrator:
+    """Implements the Figure 5 decision procedure."""
+
+    def __init__(
+        self,
+        metrics: MetricsBoard,
+        hierarchy: DomainHierarchy,
+        runqueues: Mapping[int, RunQueue],
+        migrate: MigrateFn,
+        config: HotMigrationConfig | None = None,
+    ) -> None:
+        self.metrics = metrics
+        self.hierarchy = hierarchy
+        self.runqueues = runqueues
+        self.migrate = migrate
+        self.config = config if config is not None else HotMigrationConfig()
+        #: hot-task migrations per domain level: the hierarchy is walked
+        #: bottom-up, so node-level moves dominating top-level moves is
+        #: Figure 9's "never across the node boundary" in aggregate.
+        self.moves_by_level: dict[str, int] = {}
+
+    # -- trigger ---------------------------------------------------------------
+    def _single_task(self, cpu_id: int) -> Task | None:
+        """The queue's only task — current or momentarily descheduled
+        (e.g. denied by an energy container between dispatches)."""
+        rq = self.runqueues[cpu_id]
+        if rq.nr_running != 1:
+            return None
+        return next(rq.tasks())
+
+    def should_trigger(self, cpu_id: int) -> bool:
+        """Single-task queue about to hit its (package) power limit?"""
+        if self._single_task(cpu_id) is None:
+            return False
+        m = self.metrics
+        return (
+            m.package_thermal_sum_w(cpu_id)
+            > m.package_max_power_w(cpu_id) - self.config.trigger_margin_w
+        )
+
+    # -- Figure 5 ---------------------------------------------------------------
+    def check(self, cpu_id: int) -> bool:
+        """Run the full decision procedure; returns True if migrated."""
+        if not self.should_trigger(cpu_id):
+            return False
+        hot_task = self._single_task(cpu_id)
+        assert hot_task is not None
+        m = self.metrics
+        source_heat = m.package_thermal_sum_w(cpu_id)
+        for domain in self.hierarchy.chain(cpu_id):
+            if domain.smt_level:
+                continue  # a sibling shares the chip (§4.7)
+            candidates = [c for c in domain.span if c != cpu_id]
+            if not candidates:
+                continue
+            dest = min(
+                candidates, key=lambda c: (m.package_thermal_sum_w(c), c)
+            )
+            if source_heat - m.package_thermal_sum_w(dest) < self.config.min_delta_w:
+                continue  # coolest CPU at this level not cool enough: ascend
+            if not hot_task.allowed_on(dest):
+                continue  # affinity mask pins the task away: ascend
+            dest_rq = self.runqueues[dest]
+            if dest_rq.is_idle:
+                self.migrate(hot_task, cpu_id, dest, "hot_task")
+                self._note_level(domain)
+                return True
+            if self._runs_single_cool_task(dest_rq, hot_task) and (
+                dest_rq.current is not None and dest_rq.current.allowed_on(cpu_id)
+            ):
+                cool_task = dest_rq.current
+                self.migrate(hot_task, cpu_id, dest, "hot_task")
+                self.migrate(cool_task, dest, cpu_id, "exchange")
+                self._note_level(domain)
+                return True
+            # Destination busy with unsuitable work: ascend.
+        return False
+
+    def _note_level(self, domain) -> None:
+        self.moves_by_level[domain.name] = (
+            self.moves_by_level.get(domain.name, 0) + 1
+        )
+
+    def _runs_single_cool_task(self, rq: RunQueue, hot_task: Task) -> bool:
+        if rq.nr_running != 1 or rq.current is None:
+            return False
+        return (
+            rq.current.profile_power_w
+            < hot_task.profile_power_w - self.config.cool_task_margin_w
+        )

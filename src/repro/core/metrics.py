@@ -1,0 +1,145 @@
+"""Calculation parameters for energy-aware scheduling (paper §4.3).
+
+Per logical CPU:
+
+* **runqueue power** — the average of the energy profiles of all tasks
+  in the CPU's runqueue.  Reacts *immediately* to migrations, which is
+  what prevents pulling an undue number of tasks.
+* **thermal power** — an exponential average of the CPU's estimated
+  power whose weight is calibrated to the thermal model's time constant,
+  so it tracks temperature while retaining the dimension of a power.
+  Reacts *slowly*, providing the hysteresis against ping-pong effects.
+* **maximum power** — the highest sustainable power without overheating
+  (for a temperature limit ``T``: ``(T - T_ambient) / R``).  Under SMT
+  the package's maximum power is divided among its logical CPUs (§4.7).
+* the two **ratios** — each power divided by maximum power, so CPUs
+  with different cooling are compared on equal footing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.ewma import ThermalEwma
+from repro.cpu.topology import Topology
+from repro.sched.runqueue import RunQueue
+
+
+class CpuPowerMetrics:
+    """Power state of one logical CPU."""
+
+    __slots__ = ("cpu_id", "thermal", "max_power_w")
+
+    def __init__(self, cpu_id: int, tau_s: float, max_power_w: float, initial_w: float) -> None:
+        if max_power_w <= 0:
+            raise ValueError("maximum power must be positive")
+        self.cpu_id = cpu_id
+        self.thermal = ThermalEwma(tau_s=tau_s, initial_w=initial_w)
+        self.max_power_w = max_power_w
+
+    @property
+    def thermal_power_w(self) -> float:
+        return self.thermal.value_w
+
+    @property
+    def thermal_power_ratio(self) -> float:
+        return self.thermal.value_w / self.max_power_w
+
+
+class MetricsBoard:
+    """All per-CPU metrics plus the group aggregates the balancers use."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        runqueues: Mapping[int, RunQueue],
+        tau_s: float,
+        max_power_w: float | Mapping[int, float],
+        initial_thermal_w: float = 0.0,
+    ) -> None:
+        self.topology = topology
+        self.runqueues = runqueues
+        self._package_cpus: dict[int, tuple[int, ...]] = {
+            pkg: tuple(topology.cpus_of_package(pkg))
+            for pkg in range(topology.n_packages)
+        }
+        self._cpus: dict[int, CpuPowerMetrics] = {}
+        for info in topology.cpus:
+            limit = (
+                max_power_w[info.cpu_id]
+                if isinstance(max_power_w, Mapping)
+                else max_power_w
+            )
+            self._cpus[info.cpu_id] = CpuPowerMetrics(
+                info.cpu_id, tau_s=tau_s, max_power_w=limit, initial_w=initial_thermal_w
+            )
+            # Mirror the limit onto the runqueue, as the paper stores it
+            # in the extended runqueue struct (§5).
+            runqueues[info.cpu_id].max_power_w = limit
+
+    # -- per-CPU ------------------------------------------------------------
+    def cpu(self, cpu_id: int) -> CpuPowerMetrics:
+        return self._cpus[cpu_id]
+
+    def update_thermal(self, cpu_id: int, power_w: float, dt_s: float) -> None:
+        """Fold one tick of estimated CPU power into thermal power."""
+        self._cpus[cpu_id].thermal.update(power_w, dt_s)
+
+    def thermal_power_w(self, cpu_id: int) -> float:
+        return self._cpus[cpu_id].thermal_power_w
+
+    def thermal_power_ratio(self, cpu_id: int) -> float:
+        return self._cpus[cpu_id].thermal_power_ratio
+
+    def max_power_w(self, cpu_id: int) -> float:
+        return self._cpus[cpu_id].max_power_w
+
+    def runqueue_power_w(self, cpu_id: int) -> float:
+        """Average energy-profile power over the runqueue (0 if idle)."""
+        rq = self.runqueues[cpu_id]
+        n = rq.nr_running
+        if n == 0:
+            return 0.0
+        return sum(t.profile_power_w for t in rq.tasks()) / n
+
+    def runqueue_power_ratio(self, cpu_id: int) -> float:
+        return self.runqueue_power_w(cpu_id) / self._cpus[cpu_id].max_power_w
+
+    def would_be_ratio(self, cpu_id: int, extra_task_power_w: float) -> float:
+        """Runqueue power ratio if a task with the given profile joined."""
+        rq = self.runqueues[cpu_id]
+        total = sum(t.profile_power_w for t in rq.tasks()) + extra_task_power_w
+        return total / (rq.nr_running + 1) / self._cpus[cpu_id].max_power_w
+
+    # -- SMT / CMP (§4.7, §7) ---------------------------------------------------
+    def package_thermal_sum_w(self, cpu_id: int) -> float:
+        """Sum of thermal powers of all logical CPUs on the same package.
+
+        Only physical processors can overheat; hot-task migration
+        triggers on this sum against the package's full budget.  On the
+        paper's machine a package is one SMT core; on the §7 CMP
+        extension it covers every thread of every core on the chip.
+        """
+        package = self.topology.package_of(cpu_id)
+        return sum(
+            self._cpus[c].thermal_power_w for c in self._package_cpus[package]
+        )
+
+    def package_max_power_w(self, cpu_id: int) -> float:
+        """Full package budget: sum of the per-logical-CPU shares."""
+        package = self.topology.package_of(cpu_id)
+        return sum(
+            self._cpus[c].max_power_w for c in self._package_cpus[package]
+        )
+
+    # -- group aggregates -----------------------------------------------------
+    def group_avg_runqueue_ratio(self, cpus: Iterable[int]) -> float:
+        cpus = list(cpus)
+        return sum(self.runqueue_power_ratio(c) for c in cpus) / len(cpus)
+
+    def group_avg_thermal_ratio(self, cpus: Iterable[int]) -> float:
+        cpus = list(cpus)
+        return sum(self.thermal_power_ratio(c) for c in cpus) / len(cpus)
+
+    def system_avg_runqueue_ratio(self) -> float:
+        return self.group_avg_runqueue_ratio(self._cpus.keys())

@@ -1,0 +1,94 @@
+"""Initial task placement (paper §4.6).
+
+A task's energy characteristics cannot be known before it runs — but
+most binaries do input-independent initialisation first, so the energy
+of a binary's *first timeslice* is a usable prediction for the first
+timeslice of the next task started from the same binary.  The paper
+stores it in a hash table indexed by the binary's inode number.
+
+Placement: only CPUs with the minimum runqueue length are eligible (no
+load imbalance).  Among those, the new task goes to the CPU whose
+would-be runqueue power ratio — including the new task — comes closest
+to the current system-average ratio: hot tasks land on cool CPUs and
+vice versa.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.metrics import MetricsBoard
+from repro.sched.runqueue import RunQueue
+from repro.sched.task import Task
+
+
+@dataclass(frozen=True, slots=True)
+class PlacementConfig:
+    """Initial-placement tunables.
+
+    Attributes
+    ----------
+    default_power_w:
+        Profile for binaries started for the very first time.
+    """
+
+    default_power_w: float = 45.0
+
+    def __post_init__(self) -> None:
+        if self.default_power_w < 0:
+            raise ValueError("default power must be non-negative")
+
+
+class InitialPlacement:
+    """First-timeslice energy table + the placement decision."""
+
+    def __init__(
+        self,
+        metrics: MetricsBoard,
+        runqueues: Mapping[int, RunQueue],
+        config: PlacementConfig | None = None,
+    ) -> None:
+        self.metrics = metrics
+        self.runqueues = runqueues
+        self.config = config if config is not None else PlacementConfig()
+        self._first_slice_power: dict[int, float] = {}
+
+    # -- the inode hash table ----------------------------------------------------
+    def initial_power_for(self, inode: int) -> float:
+        """Predicted first-timeslice power for a binary."""
+        return self._first_slice_power.get(inode, self.config.default_power_w)
+
+    def record_first_timeslice(self, task: Task, power_w: float) -> None:
+        """Store the power of a task's completed first timeslice."""
+        if power_w < 0:
+            raise ValueError("power must be non-negative")
+        self._first_slice_power[task.inode] = power_w
+
+    @property
+    def known_binaries(self) -> int:
+        return len(self._first_slice_power)
+
+    # -- the decision -----------------------------------------------------------
+    def place(self, task: Task) -> int:
+        """Choose the CPU for a newly forked task; returns the CPU id."""
+        new_power = (
+            task.profile_power_w
+            if task.profile is not None and task.profile.samples > 0
+            else self.initial_power_for(task.inode)
+        )
+        allowed = [
+            cpu for cpu in self.runqueues if task.allowed_on(cpu)
+        ]
+        min_len = min(self.runqueues[cpu].nr_running for cpu in allowed)
+        eligible = [
+            cpu for cpu in allowed if self.runqueues[cpu].nr_running == min_len
+        ]
+        target_ratio = self.metrics.system_avg_runqueue_ratio()
+        return min(
+            eligible,
+            key=lambda cpu: (
+                abs(self.metrics.would_be_ratio(cpu, new_power) - target_ratio),
+                cpu,
+            ),
+        )

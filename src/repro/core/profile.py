@@ -1,0 +1,77 @@
+"""Task energy profiles (paper §3.3).
+
+A task's energy profile predicts the energy it will consume during its
+next timeslice, expressed here as an average *power* (energy per unit
+time — dividing by the period makes samples of different lengths
+commensurable, which is what the variable-period average needs).
+
+The profile is updated whenever the task stops executing (timeslice
+expiry, blocking, preemption, migration of the running task) with the
+energy the counter-based estimator attributed to it over that interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ewma import VariablePeriodEwma
+
+
+@dataclass(frozen=True, slots=True)
+class ProfileConfig:
+    """Energy-profile tunables.
+
+    Attributes
+    ----------
+    timeslice_s:
+        The standard sampling period (one full timeslice).
+    weight_p:
+        Eq. 2 weight of a full-timeslice sample.  0.25 makes a permanent
+        phase change dominate the profile after ~5 timeslices while a
+        single-timeslice spike moves it by only a quarter of the jump —
+        the spike/phase-change discrimination §3.3 argues for.
+    default_power_w:
+        Profile assigned to binaries never seen before (§4.6).
+    """
+
+    timeslice_s: float = 0.1
+    weight_p: float = 0.25
+    default_power_w: float = 45.0
+
+    def __post_init__(self) -> None:
+        if self.timeslice_s <= 0:
+            raise ValueError("timeslice must be positive")
+        if not 0 < self.weight_p < 1:
+            raise ValueError("weight must be in (0, 1)")
+        if self.default_power_w < 0:
+            raise ValueError("default power must be non-negative")
+
+
+class EnergyProfile:
+    """Per-task exponential average of execution power."""
+
+    __slots__ = ("_ewma", "samples")
+
+    def __init__(self, config: ProfileConfig, initial_power_w: float | None = None) -> None:
+        self._ewma = VariablePeriodEwma(
+            standard_period_s=config.timeslice_s,
+            weight_p=config.weight_p,
+        )
+        if initial_power_w is not None:
+            self._ewma.prime(initial_power_w)
+        self.samples = 0
+
+    @property
+    def power_w(self) -> float:
+        """Predicted power for the task's next timeslice."""
+        return self._ewma.value
+
+    def record(self, energy_j: float, period_s: float) -> float:
+        """Fold in one execution interval; returns the new profile power."""
+        if energy_j < 0:
+            raise ValueError("energy must be non-negative")
+        self.samples += 1
+        return self._ewma.update(energy_j / period_s, period_s)
+
+    def __repr__(self) -> str:
+        return f"EnergyProfile({self.power_w:.1f}W, samples={self.samples})"

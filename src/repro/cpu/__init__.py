@@ -1,0 +1,39 @@
+"""Simulated hardware substrate.
+
+Models the parts of the IBM xSeries 445 testbed the paper's policies
+observe and influence: logical-CPU topology (SMT siblings, packages,
+NUMA nodes), event monitoring counters, the processor power draw, the
+heat-sink thermal RC network, and ``hlt``-based throttling.
+"""
+
+from repro.cpu.events import EVENT_LIST, HwEvent
+from repro.cpu.frequency import ExecutionModel
+from repro.cpu.pmc import CounterBank, CounterSnapshot
+from repro.cpu.power import (
+    GroundTruthPower,
+    LinearEnergyEstimator,
+    PowerModelParams,
+    calibrate_estimator,
+)
+from repro.cpu.thermal import ThermalDiode, ThermalParams, ThermalRC
+from repro.cpu.throttle import ThrottleController
+from repro.cpu.topology import CpuInfo, MachineSpec, Topology
+
+__all__ = [
+    "CounterBank",
+    "CounterSnapshot",
+    "CpuInfo",
+    "EVENT_LIST",
+    "ExecutionModel",
+    "GroundTruthPower",
+    "HwEvent",
+    "LinearEnergyEstimator",
+    "MachineSpec",
+    "PowerModelParams",
+    "ThermalDiode",
+    "ThermalParams",
+    "ThermalRC",
+    "ThrottleController",
+    "Topology",
+    "calibrate_estimator",
+]

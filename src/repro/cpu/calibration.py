@@ -1,0 +1,151 @@
+"""Thermal-model calibration (paper §4.2).
+
+Two procedures:
+
+* :func:`calibrate_from_step` — the paper's *offline* method: "starting
+  a task producing a maximum of heat on a processor formerly idle,
+  recording the temperature values over time and fitting an exponential
+  function to the experimental data".
+* :class:`OnlineThermalCalibrator` — the paper's sketched *online*
+  alternative: "simultaneously observing temperature (read from the
+  chip's thermal diode) and power consumption (derived from energy
+  estimation) to account for changes in the cooling system, e.g. the
+  activation or deactivation of additional fans, or changes in the
+  ambient temperature."
+
+The online fit uses the exact discrete-time solution of the RC network:
+with ``a = exp(-dt / (R*C))``,
+
+    T[k+1] = a * T[k] + (1 - a) * (T_ambient + R * P[k])
+
+which is linear in ``(a, b, c) = (a, (1-a)*R, (1-a)*T_ambient)`` and is
+solved by least squares over a window of (temperature, power) samples.
+Identifiability requires thermal *movement* — a constant-power window
+is rejected — and the coarse diode quantisation is tolerated by fitting
+over many samples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cpu.thermal import ThermalParams
+
+
+@dataclass(frozen=True, slots=True)
+class CalibrationResult:
+    """A fitted thermal model plus fit diagnostics."""
+
+    params: ThermalParams
+    residual_rms_k: float
+    n_samples: int
+
+
+def calibrate_from_step(
+    times_s: np.ndarray,
+    temps_c: np.ndarray,
+    power_w: float,
+    ambient_c: float | None = None,
+) -> CalibrationResult:
+    """Fit R and C from a heat-step response (the §4.2 offline method).
+
+    Parameters
+    ----------
+    times_s / temps_c:
+        Temperature trace recorded after a constant ``power_w`` load
+        starts on a previously idle (ambient-temperature) processor.
+    ambient_c:
+        Known ambient temperature; defaults to the fitted initial value.
+    """
+    from repro.analysis.timeseries import fit_exponential_rise
+
+    times_s = np.asarray(times_s, dtype=float)
+    temps_c = np.asarray(temps_c, dtype=float)
+    if power_w <= 0:
+        raise ValueError("step power must be positive")
+    initial, final, tau = fit_exponential_rise(times_s, temps_c)
+    base = initial if ambient_c is None else ambient_c
+    r = (final - base) / power_w
+    if r <= 0:
+        raise ValueError(
+            f"fitted steady state {final:.2f} C not above ambient {base:.2f} C"
+        )
+    params = ThermalParams(r_k_per_w=r, c_j_per_k=tau / r, ambient_c=base)
+    predicted = final + (initial - final) * np.exp(-(times_s - times_s[0]) / tau)
+    rms = float(np.sqrt(np.mean((predicted - temps_c) ** 2)))
+    return CalibrationResult(params=params, residual_rms_k=rms,
+                             n_samples=len(times_s))
+
+
+class OnlineThermalCalibrator:
+    """Continuously re-fit R/C/ambient from diode + estimator samples."""
+
+    def __init__(
+        self,
+        dt_s: float,
+        window: int = 600,
+        min_temp_span_k: float = 2.0,
+    ) -> None:
+        if dt_s <= 0:
+            raise ValueError("sample period must be positive")
+        if window < 10:
+            raise ValueError("window must hold at least 10 samples")
+        if min_temp_span_k <= 0:
+            raise ValueError("minimum temperature span must be positive")
+        self.dt_s = dt_s
+        self.window = window
+        self.min_temp_span_k = min_temp_span_k
+        self._temps: list[float] = []
+        self._powers: list[float] = []
+
+    def observe(self, diode_temp_c: float, estimated_power_w: float) -> None:
+        """Feed one simultaneous (temperature, power) observation."""
+        self._temps.append(float(diode_temp_c))
+        self._powers.append(float(estimated_power_w))
+        if len(self._temps) > self.window:
+            self._temps.pop(0)
+            self._powers.pop(0)
+
+    @property
+    def n_samples(self) -> int:
+        return len(self._temps)
+
+    def ready(self) -> bool:
+        """Enough samples and enough thermal movement to identify R/C?"""
+        if len(self._temps) < max(10, self.window // 4):
+            return False
+        return (max(self._temps) - min(self._temps)) >= self.min_temp_span_k
+
+    def fit(self) -> CalibrationResult:
+        """Least-squares fit of the discrete RC update over the window."""
+        if not self.ready():
+            raise ValueError(
+                "not enough thermal movement to calibrate "
+                f"({self.n_samples} samples, "
+                f"span {max(self._temps, default=0) - min(self._temps, default=0):.2f} K)"
+            )
+        temps = np.asarray(self._temps)
+        powers = np.asarray(self._powers)
+        design = np.column_stack(
+            [temps[:-1], powers[:-1], np.ones(len(temps) - 1)]
+        )
+        target = temps[1:]
+        (a, b, c), *_ = np.linalg.lstsq(design, target, rcond=None)
+        if not 0.0 < a < 1.0:
+            raise ValueError(f"fit produced non-physical decay factor a={a:.4f}")
+        one_minus_a = 1.0 - a
+        r = b / one_minus_a
+        ambient = c / one_minus_a
+        tau = -self.dt_s / math.log(a)
+        if r <= 0 or tau <= 0:
+            raise ValueError(
+                f"fit produced non-physical parameters (R={r:.4f}, tau={tau:.2f})"
+            )
+        params = ThermalParams(r_k_per_w=r, c_j_per_k=tau / r, ambient_c=ambient)
+        predicted = design @ np.array([a, b, c])
+        rms = float(np.sqrt(np.mean((predicted - target) ** 2)))
+        return CalibrationResult(params=params, residual_rms_k=rms,
+                                 n_samples=self.n_samples)

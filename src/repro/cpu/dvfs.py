@@ -1,0 +1,105 @@
+"""Dynamic frequency/voltage scaling — the road not taken.
+
+The paper's hardware has no DVFS ("frequency and voltage scaling are
+not available on most of todays high performance processors used in
+multiprocessor server machines", §2.3), which is why its answer to an
+overheating CPU is migration or ``hlt``.  To quantify that design
+choice we model the classical alternative: drop the clock (and with it
+the voltage) until the chip stays under its thermal limit.
+
+Scaling laws (voltage tracked linearly with frequency):
+
+* execution speed    ∝ f
+* dynamic power      ∝ f · V² ∝ f³
+* static power       unchanged (no body biasing on this era's parts)
+
+So a CPU at relative frequency ``s`` retires ``s`` of its work but
+burns only ``s^3`` of its dynamic power — strictly better than ``hlt``
+duty-cycling (which is linear in both) yet still strictly worse than
+migrating the task to a cool CPU, which costs nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _default_levels() -> tuple[float, ...]:
+    # Relative frequency steps, e.g. a 2.2 GHz part down to 1.1 GHz.
+    return (1.0, 0.9, 0.8, 0.7, 0.6, 0.5)
+
+
+@dataclass(frozen=True, slots=True)
+class DvfsConfig:
+    """Frequency ladder and controller hysteresis.
+
+    Attributes
+    ----------
+    levels:
+        Available relative frequencies, descending, starting at 1.0.
+    step_up_margin_w:
+        Step back up once thermal power falls this far below the limit.
+    """
+
+    levels: tuple[float, ...] = field(default_factory=_default_levels)
+    step_up_margin_w: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not self.levels or self.levels[0] != 1.0:
+            raise ValueError("levels must start at 1.0")
+        if list(self.levels) != sorted(self.levels, reverse=True):
+            raise ValueError("levels must be strictly descending")
+        if any(not 0.0 < lv <= 1.0 for lv in self.levels):
+            raise ValueError("levels must be in (0, 1]")
+        if len(set(self.levels)) != len(self.levels):
+            raise ValueError("levels must be strictly descending")
+        if self.step_up_margin_w <= 0:
+            raise ValueError("step-up margin must be positive")
+
+
+def dynamic_power_scale(freq_scale: float) -> float:
+    """Dynamic power multiplier at a relative frequency (∝ f^3)."""
+    if not 0.0 < freq_scale <= 1.0:
+        raise ValueError("frequency scale must be in (0, 1]")
+    return freq_scale ** 3
+
+
+class DvfsController:
+    """Per-CPU frequency governor holding thermal power at the limit.
+
+    One step per update, like the staircase governors of the era: step
+    down whenever thermal power exceeds the limit, step up when there is
+    comfortable headroom.
+    """
+
+    def __init__(self, n_cpus: int, config: DvfsConfig | None = None) -> None:
+        if n_cpus < 1:
+            raise ValueError("need at least one CPU")
+        self.config = config if config is not None else DvfsConfig()
+        self._level_index = [0] * n_cpus
+        self._scaled_ticks = [0] * n_cpus
+        self._total_ticks = [0] * n_cpus
+
+    def scale(self, cpu_id: int) -> float:
+        """Current relative frequency of a CPU."""
+        return self.config.levels[self._level_index[cpu_id]]
+
+    def update(self, cpu_id: int, thermal_power_w: float, limit_w: float) -> float:
+        """Advance one tick; returns the frequency scale to run at."""
+        self._total_ticks[cpu_id] += 1
+        index = self._level_index[cpu_id]
+        if thermal_power_w > limit_w and index < len(self.config.levels) - 1:
+            index += 1
+        elif (
+            thermal_power_w < limit_w - self.config.step_up_margin_w and index > 0
+        ):
+            index -= 1
+        self._level_index[cpu_id] = index
+        if index > 0:
+            self._scaled_ticks[cpu_id] += 1
+        return self.config.levels[index]
+
+    def scaled_fraction(self, cpu_id: int) -> float:
+        """Fraction of time the CPU ran below full frequency."""
+        total = self._total_ticks[cpu_id]
+        return self._scaled_ticks[cpu_id] / total if total else 0.0

@@ -1,0 +1,34 @@
+"""Hardware event monitoring counter event kinds.
+
+The Pentium 4 exposes 18 counters able to track dozens of event classes;
+the paper's estimator (following Bellosa et al., COLP'03) picks a small
+simultaneously-countable set whose weighted sum tracks processor energy.
+We model six event classes that span the behaviours of the paper's test
+programs: ALU-bound, memory-bound, stack-engine-bound, crypto/FP mixes,
+and control-heavy interactive code.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class HwEvent(enum.IntEnum):
+    """Countable processor events (per logical CPU on SMT parts).
+
+    Values are contiguous indices so counter banks can be plain arrays.
+    """
+
+    UOPS_RETIRED = 0        #: micro-operations completed
+    ALU_OPS = 1             #: integer ALU operations
+    FP_OPS = 2              #: floating point / SIMD operations
+    MEM_ACCESSES = 3        #: L1-level loads + stores
+    L2_MISSES = 4           #: L2 cache misses (bus/memory activity)
+    BRANCHES = 5            #: branch instructions retired
+
+
+#: All events in index order; the estimator uses this fixed ordering.
+EVENT_LIST: tuple[HwEvent, ...] = tuple(HwEvent)
+
+#: Number of modelled event classes.
+N_EVENTS: int = len(EVENT_LIST)

@@ -1,0 +1,58 @@
+"""Execution model: cycles, instruction progress, SMT contention.
+
+The paper's P4 Xeons have no DVFS (§2.3), so the clock is fixed; the
+only execution-rate levers are ``hlt`` throttling (duty cycle 0 while
+halted) and SMT resource sharing.
+
+SMT model: two threads on one core share execution resources.  With the
+sibling busy, each thread retires ``smt_thread_factor`` of its solo
+throughput (default 0.62, i.e. a combined speedup of ~1.24x — in the
+range reported for the P4's Hyper-Threading).  Event counts, and hence
+estimated energy, scale with *actually executed* cycles, so per-thread
+power under SMT falls out of the counter model automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionModel:
+    """Converts wall time into executed cycles and instructions.
+
+    Attributes
+    ----------
+    freq_hz:
+        Fixed core clock.
+    smt_thread_factor:
+        Per-thread throughput multiplier while the SMT sibling is
+        simultaneously executing.
+    """
+
+    freq_hz: float = 2.2e9
+    smt_thread_factor: float = 0.62
+
+    def __post_init__(self) -> None:
+        if self.freq_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if not 0.0 < self.smt_thread_factor <= 1.0:
+            raise ValueError("smt_thread_factor must be in (0, 1]")
+
+    def effective_cycles(self, dt_s: float, sibling_busy: bool) -> float:
+        """Core cycles a thread effectively uses during ``dt_s``.
+
+        Halted time must be excluded by the caller (pass only busy time).
+        """
+        if dt_s < 0:
+            raise ValueError("dt must be non-negative")
+        cycles = self.freq_hz * dt_s
+        if sibling_busy:
+            cycles *= self.smt_thread_factor
+        return cycles
+
+    def instructions(self, cycles: float, ipc: float) -> float:
+        """Instructions retired for ``cycles`` at a mix's IPC."""
+        if ipc <= 0:
+            raise ValueError("IPC must be positive")
+        return cycles * ipc

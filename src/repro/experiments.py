@@ -1,0 +1,251 @@
+"""Named, runnable versions of the paper's experiments.
+
+Each experiment returns a plain-text report; the CLI (``python -m
+repro``) dispatches here.  Durations default to quick-look values —
+pass ``duration_s`` (and ``seed``) for full-length runs; the committed
+full-length results live in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+from repro.analysis.report import format_table
+from repro.analysis.stats import curve_band, throttle_table, throughput_gain
+from repro.api import compare_policies, run_simulation
+from repro.config import SystemConfig
+from repro.cpu.thermal import ThermalParams
+from repro.cpu.throttle import ThrottleConfig
+from repro.cpu.topology import MachineSpec
+from repro.workloads.generator import (
+    homogeneity_sweep,
+    mixed_table2_workload,
+    short_task_storm,
+    single_program_workload,
+)
+
+# The heterogeneous-cooling machines used by the throttling experiments.
+T3_PACKAGE_R = (0.36, 0.17, 0.16, 0.33, 0.31, 0.15, 0.14, 0.13)
+F8_PACKAGE_R = (0.32, 0.21, 0.20, 0.30, 0.28, 0.19, 0.25, 0.18)
+
+
+def _heterogeneous_thermal(resistances) -> tuple[ThermalParams, ...]:
+    return tuple(ThermalParams(r_k_per_w=r, c_j_per_k=20.0 / r) for r in resistances)
+
+
+def experiment_fig6_fig7(duration_s: float = 300.0, seed: int = 7) -> str:
+    """Energy balancing on/off: band width and migrations (§6.1)."""
+    config = SystemConfig(
+        machine=MachineSpec.ibm_x445(smt=False),
+        max_power_per_cpu_w=60.0,
+        seed=seed,
+    )
+    cmp = compare_policies(config, mixed_table2_workload(3), duration_s=duration_s)
+    rows = []
+    for label, result in (("disabled", cmp.baseline), ("enabled", cmp.energy_aware)):
+        band = curve_band(result, skip_s=min(60.0, duration_s / 4))
+        rows.append(
+            [label, result.migrations(), f"{band['mean_width_w']:.1f}",
+             f"{band['peak_thermal_power_w']:.1f}"]
+        )
+    return format_table(
+        ["energy balancing", "migrations", "band width [W]", "peak [W]"],
+        rows,
+        title=f"Figures 6/7 ({duration_s:.0f}s, 18 tasks, 8 CPUs)",
+    )
+
+
+def experiment_table3(duration_s: float = 300.0, seed: int = 11) -> str:
+    """Throttling percentages and throughput under a 38 degC limit."""
+    config = SystemConfig(
+        machine=MachineSpec.ibm_x445(smt=True),
+        thermal=_heterogeneous_thermal(T3_PACKAGE_R),
+        temp_limit_c=38.0,
+        throttle=ThrottleConfig(enabled=True),
+        seed=seed,
+    )
+    cmp = compare_policies(config, mixed_table2_workload(6), duration_s=duration_s)
+    rows = [
+        [row.cpu, f"{row.disabled_pct:.1f}%", f"{row.enabled_pct:.1f}%"]
+        for row in throttle_table(cmp.baseline, cmp.energy_aware)
+    ]
+    rows.append(
+        ["average",
+         f"{cmp.baseline.average_throttle_fraction() * 100:.1f}%",
+         f"{cmp.energy_aware.average_throttle_fraction() * 100:.1f}%"]
+    )
+    table = format_table(
+        ["logical CPU", "balancing off", "balancing on"], rows,
+        title=f"Table 3 ({duration_s:.0f}s, 38 degC limit)",
+    )
+    return table + f"\nthroughput increase: {cmp.throughput_gain:+.1%}"
+
+
+def experiment_short_tasks(duration_s: float = 200.0, seed: int = 12) -> str:
+    """§6.2's short-task workload: placement-driven gain."""
+    config = SystemConfig(
+        machine=MachineSpec.ibm_x445(smt=True),
+        thermal=_heterogeneous_thermal(T3_PACKAGE_R),
+        temp_limit_c=38.0,
+        throttle=ThrottleConfig(enabled=True),
+        seed=seed,
+    )
+    cmp = compare_policies(
+        config, short_task_storm(total_slots=32, job_s=0.7), duration_s=duration_s
+    )
+    return (
+        f"short tasks ({duration_s:.0f}s): baseline "
+        f"{cmp.baseline.fractional_jobs():.0f} jobs, energy-aware "
+        f"{cmp.energy_aware.fractional_jobs():.0f} jobs "
+        f"({cmp.throughput_gain:+.1%})"
+    )
+
+
+def experiment_fig8(duration_s: float = 180.0, seed: int = 13) -> str:
+    """Throughput gain vs workload homogeneity."""
+    config = SystemConfig(
+        machine=MachineSpec.ibm_x445(smt=False),
+        thermal=_heterogeneous_thermal(F8_PACKAGE_R),
+        temp_limit_c=38.0,
+        throttle=ThrottleConfig(enabled=True),
+        seed=seed,
+    )
+    rows = []
+    for workload in homogeneity_sweep(18):
+        cmp = compare_policies(config, workload, duration_s=duration_s)
+        rows.append([workload.name, f"{cmp.throughput_gain * 100:+.1f}%"])
+    return format_table(
+        ["#memrw/#pushpop/#bitcnts", "throughput increase"], rows,
+        title=f"Figure 8 ({duration_s:.0f}s per scenario)",
+    )
+
+
+def experiment_fig9(duration_s: float = 200.0, seed: int = 3) -> str:
+    """The single hot task's tour."""
+    config = SystemConfig(
+        machine=MachineSpec.ibm_x445(smt=True),
+        max_power_per_cpu_w=20.0,
+        thermal=ThermalParams(r_k_per_w=0.30, c_j_per_k=50.0),
+        seed=seed,
+    )
+    result = run_simulation(
+        config, single_program_workload("bitcnts", 1),
+        policy="energy", duration_s=duration_s,
+    )
+    rows = [
+        [f"{e.time_ms / 1000:.1f}s", e.detail["src"], e.detail["dst"]]
+        for e in result.migration_events()
+    ]
+    return format_table(
+        ["time", "from CPU", "to CPU"], rows,
+        title=f"Figure 9 ({duration_s:.0f}s, one bitcnts, 40 W/package)",
+    )
+
+
+def experiment_fig10(duration_s: float = 200.0, seed: int = 5) -> str:
+    """Hot-task-migration gain vs number of tasks."""
+    rows = []
+    for n in (1, 2, 4, 8):
+        config = SystemConfig(
+            machine=MachineSpec.ibm_x445(smt=True),
+            max_power_per_cpu_w=20.0,
+            thermal=ThermalParams(r_k_per_w=0.30, c_j_per_k=50.0),
+            throttle=ThrottleConfig(enabled=True, scope="package"),
+            seed=seed,
+        )
+        cmp = compare_policies(
+            config, single_program_workload("bitcnts", n), duration_s=duration_s
+        )
+        rows.append([n, f"{cmp.throughput_gain * 100:+.1f}%"])
+    return format_table(
+        ["bitcnts tasks", "throughput increase"], rows,
+        title=f"Figure 10 ({duration_s:.0f}s per point, 40 W packages)",
+    )
+
+
+def experiment_hotspot(duration_s: float = 180.0, seed: int = 0) -> str:
+    """The §7 functional-unit extension."""
+    from repro.hotspot.experiment import (
+        HotspotExperimentConfig,
+        run_hotspot_experiment,
+    )
+
+    config = HotspotExperimentConfig(duration_s=duration_s)
+    rows = []
+    results = {}
+    for policy in ("none", "total", "unit"):
+        results[policy] = run_hotspot_experiment(config, policy)
+    for policy, result in results.items():
+        rows.append(
+            [policy, result.swaps, f"{result.throttle_fraction:.1%}",
+             f"{result.max_unit_temp_c:.1f}",
+             f"{result.throughput_vs(results['none']):+.1%}"]
+        )
+    return format_table(
+        ["policy", "swaps", "unit throttling", "max unit temp [C]",
+         "throughput vs none"],
+        rows,
+        title="Extension (§7): same-power integer/FP tasks",
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentInfo:
+    """Registry entry: human description plus the runner."""
+
+    name: str
+    description: str
+    run: Callable[..., str]
+
+
+REGISTRY: dict[str, ExperimentInfo] = {
+    info.name: info
+    for info in (
+        ExperimentInfo("fig6-7", "energy balancing band + migrations (§6.1)",
+                       experiment_fig6_fig7),
+        ExperimentInfo("table3", "throttling percentages + throughput (§6.2)",
+                       experiment_table3),
+        ExperimentInfo("short-tasks", "placement-driven short-task gain (§6.2)",
+                       experiment_short_tasks),
+        ExperimentInfo("fig8", "gain vs workload homogeneity (§6.3)",
+                       experiment_fig8),
+        ExperimentInfo("fig9", "single hot task tour (§6.4)", experiment_fig9),
+        ExperimentInfo("fig10", "hot-task gain vs task count (§6.4)",
+                       experiment_fig10),
+        ExperimentInfo("hotspot", "functional-unit extension (§7)",
+                       experiment_hotspot),
+    )
+}
+
+
+def run_all(duration_s: float | None = None) -> str:
+    """Run every registered experiment; returns one combined report.
+
+    Durations default to each experiment's quick-look value; pass
+    ``duration_s`` to override uniformly (the full-length record lives
+    in ``benchmarks/results/`` and EXPERIMENTS.md).
+    """
+    sections = []
+    for name in sorted(REGISTRY):
+        report = run_experiment(name, duration_s=duration_s)
+        sections.append(f"===== {name} =====\n{report}")
+    return "\n\n".join(sections)
+
+
+def run_experiment(name: str, duration_s: float | None = None,
+                   seed: int | None = None) -> str:
+    """Run a registered experiment by name; returns the report text."""
+    try:
+        info = REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {sorted(REGISTRY)}"
+        ) from None
+    kwargs = {}
+    if duration_s is not None:
+        kwargs["duration_s"] = duration_s
+    if seed is not None:
+        kwargs["seed"] = seed
+    return info.run(**kwargs)

@@ -1,0 +1,51 @@
+"""Functional-unit hotspot extension (paper §7).
+
+The paper's future-work section: "a more elaborate thermal model
+featuring multiple temperatures ... characterize tasks not only by
+their power consumption, but also by the location at which energy is
+dissipated.  This way, energy-aware scheduling would even be beneficial
+for tasks having the same power consumption, if they dissipate energy
+at different functional units, as is the case with floating point and
+integer applications."
+
+This subpackage builds that extension:
+
+* :mod:`repro.hotspot.units` — functional units and the event-to-unit
+  energy attribution matrix (counters already localise activity);
+* :mod:`repro.hotspot.thermal_network` — a two-level compact thermal
+  model (cf. [17] in the paper): per-unit RC nodes over a shared
+  spreader/heat-sink node;
+* :mod:`repro.hotspot.profiles` — per-task *unit power vectors*, the
+  multi-dimensional generalisation of §3.3's energy profiles;
+* :mod:`repro.hotspot.experiment` — a compact scheduler experiment
+  showing that unit-aware balancing beats total-power balancing for
+  workloads of equal-power integer and floating-point tasks (and ties
+  when all tasks stress the same unit).
+"""
+
+from repro.hotspot.experiment import (
+    HotspotExperimentConfig,
+    HotspotResult,
+    run_hotspot_experiment,
+)
+from repro.hotspot.profiles import UnitEnergyProfile
+from repro.hotspot.thermal_network import MultiUnitThermalModel, UnitThermalParams
+from repro.hotspot.units import (
+    EVENT_UNIT_MATRIX,
+    N_UNITS,
+    FunctionalUnit,
+    unit_power_vector,
+)
+
+__all__ = [
+    "EVENT_UNIT_MATRIX",
+    "FunctionalUnit",
+    "HotspotExperimentConfig",
+    "HotspotResult",
+    "MultiUnitThermalModel",
+    "N_UNITS",
+    "UnitEnergyProfile",
+    "UnitThermalParams",
+    "run_hotspot_experiment",
+    "unit_power_vector",
+]

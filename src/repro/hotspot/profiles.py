@@ -1,0 +1,66 @@
+"""Per-task unit power vectors: §3.3 profiles, one dimension per unit.
+
+"Characterize tasks not only by their power consumption, but also by
+the location at which energy is dissipated" (§7).  Each unit gets its
+own variable-period exponential average; the scalar §3.3 profile is the
+vector's sum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ewma import VariablePeriodEwma
+from repro.core.profile import ProfileConfig
+from repro.hotspot.units import N_UNITS
+
+
+class UnitEnergyProfile:
+    """Exponentially averaged per-unit power vector of one task."""
+
+    __slots__ = ("_ewmas", "samples")
+
+    def __init__(
+        self,
+        config: ProfileConfig,
+        initial_powers_w: np.ndarray | None = None,
+    ) -> None:
+        self._ewmas = [
+            VariablePeriodEwma(config.timeslice_s, config.weight_p)
+            for _ in range(N_UNITS)
+        ]
+        if initial_powers_w is not None:
+            initial_powers_w = np.asarray(initial_powers_w, dtype=float)
+            if initial_powers_w.shape != (N_UNITS,):
+                raise ValueError(f"initial powers must have shape ({N_UNITS},)")
+            for ewma, value in zip(self._ewmas, initial_powers_w):
+                ewma.prime(float(value))
+        self.samples = 0
+
+    @property
+    def power_vector_w(self) -> np.ndarray:
+        """Predicted per-unit power for the task's next timeslice."""
+        return np.array([e.value for e in self._ewmas])
+
+    @property
+    def total_power_w(self) -> float:
+        """The scalar §3.3 profile: the vector's sum."""
+        return float(sum(e.value for e in self._ewmas))
+
+    def record(self, unit_energy_j: np.ndarray, period_s: float) -> np.ndarray:
+        """Fold in one execution interval's per-unit energies."""
+        unit_energy_j = np.asarray(unit_energy_j, dtype=float)
+        if unit_energy_j.shape != (N_UNITS,):
+            raise ValueError(f"unit energies must have shape ({N_UNITS},)")
+        if np.any(unit_energy_j < 0):
+            raise ValueError("unit energies must be non-negative")
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.samples += 1
+        for ewma, energy in zip(self._ewmas, unit_energy_j):
+            ewma.update(float(energy) / period_s, period_s)
+        return self.power_vector_w
+
+    def __repr__(self) -> str:
+        vec = ", ".join(f"{v:.1f}" for v in self.power_vector_w)
+        return f"UnitEnergyProfile([{vec}] W, samples={self.samples})"

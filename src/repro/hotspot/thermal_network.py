@@ -1,0 +1,136 @@
+"""Two-level compact thermal model: unit nodes over a shared spreader.
+
+A minimal instance of the compact models the paper cites ([17] Huang et
+al.; used by [21] Lee & Skadron for counter-driven multi-temperature
+estimation): each functional unit is an RC node coupled to a common
+spreader/heat-sink node, which is the single RC of §4.2:
+
+    C_u dT_u/dt = P_u - (T_u - T_s) / R_u            (per unit u)
+    C_s dT_s/dt = sum_u (T_u - T_s) / R_u - (T_s - T_amb) / R_s
+
+Unit nodes are small and fast (tau ~ a second); the spreader is the
+slow node (tau ~ tens of seconds).  Integration is explicit Euler with
+sub-stepping bounded by the fastest time constant, which is ample for
+10 ms simulator ticks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hotspot.units import N_UNITS
+
+
+def _default_unit_r() -> tuple[float, ...]:
+    # K/W from each unit to the spreader: FRONTEND, INT_ALU, FPU, LSU.
+    return (0.45, 0.80, 0.90, 0.60)
+
+
+def _default_unit_c() -> tuple[float, ...]:
+    # J/K: small local capacitances -> unit taus of ~0.5-1.5 s.
+    return (2.0, 1.2, 1.2, 1.5)
+
+
+@dataclass(frozen=True, slots=True)
+class UnitThermalParams:
+    """Parameters of the two-level network.
+
+    Attributes
+    ----------
+    unit_r_k_per_w / unit_c_j_per_k:
+        Per-unit RC to the spreader node.
+    spreader_r_k_per_w / spreader_c_j_per_k:
+        The §4.2 package RC (spreader/heat sink to ambient).
+    ambient_c:
+        Ambient temperature.
+    """
+
+    unit_r_k_per_w: tuple[float, ...] = field(default_factory=_default_unit_r)
+    unit_c_j_per_k: tuple[float, ...] = field(default_factory=_default_unit_c)
+    spreader_r_k_per_w: float = 0.30
+    spreader_c_j_per_k: float = 66.7
+    ambient_c: float = 25.0
+
+    def __post_init__(self) -> None:
+        if len(self.unit_r_k_per_w) != N_UNITS or len(self.unit_c_j_per_k) != N_UNITS:
+            raise ValueError(f"need {N_UNITS} per-unit R and C values")
+        if any(r <= 0 for r in self.unit_r_k_per_w):
+            raise ValueError("unit resistances must be positive")
+        if any(c <= 0 for c in self.unit_c_j_per_k):
+            raise ValueError("unit capacitances must be positive")
+        if self.spreader_r_k_per_w <= 0 or self.spreader_c_j_per_k <= 0:
+            raise ValueError("spreader RC must be positive")
+
+    @property
+    def min_tau_s(self) -> float:
+        return min(
+            r * c for r, c in zip(self.unit_r_k_per_w, self.unit_c_j_per_k)
+        )
+
+    def steady_state(self, unit_powers_w: np.ndarray) -> np.ndarray:
+        """Equilibrium unit temperatures for constant unit powers."""
+        unit_powers_w = np.asarray(unit_powers_w, dtype=float)
+        total = float(unit_powers_w.sum())
+        spreader = self.ambient_c + total * self.spreader_r_k_per_w
+        return spreader + unit_powers_w * np.asarray(self.unit_r_k_per_w)
+
+
+class MultiUnitThermalModel:
+    """Integrates the two-level network for one package."""
+
+    def __init__(self, params: UnitThermalParams, initial_c: float | None = None):
+        self.params = params
+        start = params.ambient_c if initial_c is None else float(initial_c)
+        self._unit_t = np.full(N_UNITS, start, dtype=float)
+        self._spreader_t = start
+        self._unit_r = np.asarray(params.unit_r_k_per_w)
+        self._unit_c = np.asarray(params.unit_c_j_per_k)
+        # Euler sub-step bounded well below the fastest time constant.
+        self._max_substep = params.min_tau_s / 5.0
+
+    @property
+    def unit_temps_c(self) -> np.ndarray:
+        view = self._unit_t.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def spreader_temp_c(self) -> float:
+        return self._spreader_t
+
+    @property
+    def hottest_unit_temp_c(self) -> float:
+        return float(self._unit_t.max())
+
+    def hottest_unit(self) -> int:
+        """Index of the hottest functional unit."""
+        return int(self._unit_t.argmax())
+
+    def step(self, unit_powers_w: np.ndarray, dt_s: float) -> np.ndarray:
+        """Advance ``dt_s`` at the given per-unit powers; return temps."""
+        if dt_s < 0:
+            raise ValueError("dt must be non-negative")
+        unit_powers_w = np.asarray(unit_powers_w, dtype=float)
+        if unit_powers_w.shape != (N_UNITS,):
+            raise ValueError(f"unit powers must have shape ({N_UNITS},)")
+        params = self.params
+        remaining = dt_s
+        while remaining > 1e-12:
+            h = min(remaining, self._max_substep)
+            to_spreader = (self._unit_t - self._spreader_t) / self._unit_r
+            d_units = (unit_powers_w - to_spreader) / self._unit_c
+            d_spreader = (
+                to_spreader.sum()
+                - (self._spreader_t - params.ambient_c) / params.spreader_r_k_per_w
+            ) / params.spreader_c_j_per_k
+            self._unit_t += d_units * h
+            self._spreader_t += d_spreader * h
+            remaining -= h
+        return self.unit_temps_c
+
+    def reset(self, temp_c: float | None = None) -> None:
+        start = self.params.ambient_c if temp_c is None else float(temp_c)
+        self._unit_t[:] = start
+        self._spreader_t = start

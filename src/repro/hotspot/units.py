@@ -1,0 +1,67 @@
+"""Functional units and event-to-unit energy attribution.
+
+Event monitoring counters already localise activity on the chip — an
+ALU-op count is energy spent in the integer cluster, an FP-op count in
+the floating point unit, a memory access in the load/store machinery.
+The attribution matrix below routes each event class's (weighted)
+energy to the unit where it is dissipated; the static (base) power is
+split by rough area fractions.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.cpu.events import N_EVENTS, HwEvent
+
+
+class FunctionalUnit(enum.IntEnum):
+    """Coarse on-chip heat sources."""
+
+    FRONTEND = 0   #: fetch/decode/retire, branch machinery
+    INT_ALU = 1    #: integer execution cluster
+    FPU = 2        #: floating point / SIMD unit
+    LSU = 3        #: load/store unit, L1/L2 interface
+
+
+N_UNITS: int = len(FunctionalUnit)
+
+#: Row per event, column per unit; rows sum to 1.
+EVENT_UNIT_MATRIX: np.ndarray = np.zeros((N_EVENTS, N_UNITS))
+EVENT_UNIT_MATRIX[HwEvent.UOPS_RETIRED, FunctionalUnit.FRONTEND] = 1.0
+EVENT_UNIT_MATRIX[HwEvent.ALU_OPS, FunctionalUnit.INT_ALU] = 1.0
+EVENT_UNIT_MATRIX[HwEvent.FP_OPS, FunctionalUnit.FPU] = 1.0
+EVENT_UNIT_MATRIX[HwEvent.MEM_ACCESSES, FunctionalUnit.LSU] = 1.0
+EVENT_UNIT_MATRIX[HwEvent.L2_MISSES, FunctionalUnit.LSU] = 1.0
+EVENT_UNIT_MATRIX[HwEvent.BRANCHES, FunctionalUnit.FRONTEND] = 1.0
+EVENT_UNIT_MATRIX.flags.writeable = False
+
+#: Share of the package's static power dissipated in each unit
+#: (rough area fractions: the frontend/caches dominate).
+STATIC_POWER_SHARES: np.ndarray = np.array([0.40, 0.20, 0.25, 0.15])
+STATIC_POWER_SHARES.flags.writeable = False
+
+
+def unit_power_vector(
+    rates_per_cycle: np.ndarray,
+    weights_nj: np.ndarray,
+    freq_hz: float,
+    base_w: float,
+    base_share: float = 1.0,
+) -> np.ndarray:
+    """Per-unit power (W) for a thread executing a mix.
+
+    Each event class's linear power contribution is routed to units by
+    :data:`EVENT_UNIT_MATRIX`; the static power ``base_w * base_share``
+    is spread by :data:`STATIC_POWER_SHARES`.
+    """
+    rates_per_cycle = np.asarray(rates_per_cycle, dtype=float)
+    if rates_per_cycle.shape != (N_EVENTS,):
+        raise ValueError(f"rates must have shape ({N_EVENTS},)")
+    if not 0.0 <= base_share <= 1.0:
+        raise ValueError("base share must be in [0, 1]")
+    event_power = rates_per_cycle * np.asarray(weights_nj, dtype=float) * freq_hz * 1e-9
+    dynamic = event_power @ EVENT_UNIT_MATRIX
+    return dynamic + base_w * base_share * STATIC_POWER_SHARES

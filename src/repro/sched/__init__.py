@@ -1,0 +1,26 @@
+"""Linux-2.6-style multiprocessor scheduler substrate.
+
+Per-CPU runqueues with round-robin timeslices, a scheduler-domain
+hierarchy mirroring the machine topology (§4.1), and the vanilla
+pull-based load balancer the paper's policy is merged into.  The
+energy-aware pieces live in :mod:`repro.core`; this package is policy
+infrastructure shared by the baseline and the energy-aware scheduler.
+"""
+
+from repro.sched.domains import CpuGroup, DomainHierarchy, SchedDomain, build_domains
+from repro.sched.load_balance import LoadBalanceConfig, find_busiest_group, load_balance_pass
+from repro.sched.runqueue import RunQueue
+from repro.sched.task import Task, TaskState
+
+__all__ = [
+    "CpuGroup",
+    "DomainHierarchy",
+    "LoadBalanceConfig",
+    "RunQueue",
+    "SchedDomain",
+    "Task",
+    "TaskState",
+    "build_domains",
+    "find_busiest_group",
+    "load_balance_pass",
+]

@@ -1,0 +1,50 @@
+"""Nice levels and priority-scaled timeslices (Linux 2.6 O(1) rules).
+
+§3.3's motivation for the variable-period exponential average is exactly
+this machinery: "some operating systems, like Linux, give longer
+timeslices to tasks with higher priorities", so energy-profile samples
+span different durations even before blocking is considered.
+
+We reproduce the 2.6.10 `task_timeslice()` formula: the static priority
+is ``120 + nice``; the timeslice scales linearly from the default 100 ms
+at nice 0 up to 200 ms at nice -20 and down to the 5 ms minimum at
+nice 19:
+
+    timeslice(p) = max(DEF_TIMESLICE * (MAX_PRIO - p) / (MAX_USER_PRIO/2),
+                       MIN_TIMESLICE)
+"""
+
+from __future__ import annotations
+
+MIN_NICE = -20
+MAX_NICE = 19
+DEFAULT_PRIO = 120
+MAX_PRIO = 140
+MAX_USER_PRIO = 40
+DEF_TIMESLICE_MS = 100
+MIN_TIMESLICE_MS = 5
+
+
+def static_prio(nice: int) -> int:
+    """Linux static priority for a nice level (100..139 for user tasks)."""
+    validate_nice(nice)
+    return DEFAULT_PRIO + nice
+
+
+def timeslice_ms(nice: int, base_timeslice_ms: int = DEF_TIMESLICE_MS) -> int:
+    """Timeslice in milliseconds for a nice level.
+
+    ``base_timeslice_ms`` rescales the whole curve (the simulator's
+    configured timeslice stands in for DEF_TIMESLICE).
+    """
+    if base_timeslice_ms <= 0:
+        raise ValueError("base timeslice must be positive")
+    prio = static_prio(nice)
+    scaled = base_timeslice_ms * (MAX_PRIO - prio) // (MAX_USER_PRIO // 2)
+    minimum = max(1, MIN_TIMESLICE_MS * base_timeslice_ms // DEF_TIMESLICE_MS)
+    return max(scaled, minimum)
+
+
+def validate_nice(nice: int) -> None:
+    if not MIN_NICE <= nice <= MAX_NICE:
+        raise ValueError(f"nice must be in [{MIN_NICE}, {MAX_NICE}], got {nice}")

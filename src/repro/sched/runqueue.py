@@ -1,0 +1,119 @@
+"""Per-CPU runqueues.
+
+Each logical CPU executes tasks from its local queue only (§4.1); tasks
+move between queues solely through explicit migration.  Scheduling
+within a queue is round-robin with fixed timeslices — the paper's
+machinery is orthogonal to intra-queue priorities, so we keep the
+single-priority case of the 2.6 O(1) scheduler.
+
+Like the paper's extended ``runqueue`` struct (§5), the queue carries
+the CPU-local power metrics (runqueue power, thermal power, maximum
+power); those fields are maintained by :mod:`repro.core.metrics`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.sched.task import Task, TaskState
+
+
+class RunQueue:
+    """Runqueue of one logical CPU."""
+
+    __slots__ = ("cpu_id", "current", "_queue", "max_power_w")
+
+    def __init__(self, cpu_id: int, max_power_w: float = float("inf")) -> None:
+        self.cpu_id = cpu_id
+        self.current: Task | None = None
+        self._queue: deque[Task] = deque()
+        #: maximum sustainable power of this CPU (§4.3); set per experiment
+        self.max_power_w = max_power_w
+
+    # -- state --------------------------------------------------------------
+    @property
+    def nr_running(self) -> int:
+        """Number of runnable tasks owned by this queue (incl. current)."""
+        return len(self._queue) + (1 if self.current is not None else 0)
+
+    @property
+    def is_idle(self) -> bool:
+        return self.nr_running == 0
+
+    def tasks(self) -> Iterator[Task]:
+        """All runnable tasks (current first, then queued order)."""
+        if self.current is not None:
+            yield self.current
+        yield from self._queue
+
+    def queued_tasks(self) -> tuple[Task, ...]:
+        """Tasks that are ready but not executing (migratable cheaply)."""
+        return tuple(self._queue)
+
+    # -- scheduling operations -----------------------------------------------
+    def enqueue(self, task: Task) -> None:
+        """Add a ready task at the tail."""
+        if task.cpu not in (-1, self.cpu_id):
+            raise ValueError(
+                f"task pid={task.pid} belongs to CPU {task.cpu}, "
+                f"cannot enqueue on CPU {self.cpu_id}"
+            )
+        task.cpu = self.cpu_id
+        task.state = TaskState.READY
+        self._queue.append(task)
+
+    def pick_next(self, eligible=None) -> Task | None:
+        """Dispatch: rotate the current task to the tail, run the head.
+
+        With an ``eligible`` predicate (e.g. energy containers denying
+        exhausted tasks), ineligible tasks are rotated past; if no task
+        qualifies the CPU stays without a current task — the ineligible
+        tasks remain queued and still count toward ``nr_running``.
+        """
+        if self.current is not None:
+            self.current.state = TaskState.READY
+            self._queue.append(self.current)
+            self.current = None
+        if eligible is None:
+            if self._queue:
+                task = self._queue.popleft()
+                task.state = TaskState.RUNNING
+                self.current = task
+            return self.current
+        for _ in range(len(self._queue)):
+            task = self._queue.popleft()
+            if eligible(task):
+                task.state = TaskState.RUNNING
+                self.current = task
+                break
+            self._queue.append(task)
+        return self.current
+
+    def deschedule_current(self) -> Task | None:
+        """Take the running task off the CPU without re-queueing it."""
+        task = self.current
+        if task is not None:
+            task.state = TaskState.READY
+            self.current = None
+        return task
+
+    def remove(self, task: Task) -> None:
+        """Remove a task from this queue (for migration or blocking)."""
+        if task is self.current:
+            self.current = None
+        else:
+            try:
+                self._queue.remove(task)
+            except ValueError:
+                raise ValueError(
+                    f"task pid={task.pid} not on runqueue of CPU {self.cpu_id}"
+                ) from None
+        task.cpu = -1
+
+    def __contains__(self, task: Task) -> bool:
+        return task is self.current or task in self._queue
+
+    def __repr__(self) -> str:
+        pids = [t.pid for t in self.tasks()]
+        return f"RunQueue(cpu={self.cpu_id}, nr_running={self.nr_running}, pids={pids})"

@@ -1,0 +1,180 @@
+"""The task: our ``task_struct`` analogue.
+
+Carries scheduling state (runqueue membership, timeslice budget), the
+behaviour phase machine driving its instruction mix, job-progress
+accounting for throughput measurement, and — as the paper extends
+``task_struct`` (§5) — its energy profile.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+from repro.sched.priorities import validate_nice
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.profile import EnergyProfile
+    from repro.workloads.behavior import Behavior
+    from repro.workloads.generator import TaskSpec
+
+
+class TaskState(enum.Enum):
+    READY = "ready"        #: on a runqueue, not executing
+    RUNNING = "running"    #: currently on a CPU
+    BLOCKED = "blocked"    #: waiting (interactive I/O)
+    EXITED = "exited"
+
+
+class Task:
+    """One schedulable task.
+
+    Parameters
+    ----------
+    pid:
+        Unique task id.
+    name / inode:
+        Identity of the backing binary; ``inode`` keys the §4.6
+        initial-placement hash table.
+    behavior:
+        Phase machine producing the instruction mix.
+    job_instructions:
+        Instructions per job for throughput accounting.
+    spec:
+        The workload slot this task belongs to (drives respawn).
+    """
+
+    __slots__ = (
+        "pid",
+        "name",
+        "inode",
+        "behavior",
+        "spec",
+        "state",
+        "nice",
+        "cpus_allowed",
+        "cpu",
+        "timeslice_remaining_ms",
+        "job_instructions",
+        "instructions_remaining",
+        "jobs_completed",
+        "total_busy_s",
+        "total_energy_j",
+        "migrations",
+        "profile",
+        "first_timeslice_done",
+        "run_remaining_s",
+        "wake_at_ms",
+        "started_at_ms",
+        "ready_since_ms",
+        "wake_latency_sum_ms",
+        "wake_latency_max_ms",
+        "wake_latency_n",
+        "cold_instructions_remaining",
+        "warmup_instructions_lost",
+    )
+
+    def __init__(
+        self,
+        pid: int,
+        name: str,
+        inode: int,
+        behavior: "Behavior",
+        job_instructions: float,
+        spec: "Optional[TaskSpec]" = None,
+        nice: int = 0,
+        cpus_allowed: frozenset[int] | None = None,
+    ) -> None:
+        if job_instructions <= 0:
+            raise ValueError("job_instructions must be positive")
+        validate_nice(nice)
+        if cpus_allowed is not None and not cpus_allowed:
+            raise ValueError("cpus_allowed must not be empty")
+        self.pid = pid
+        self.name = name
+        self.inode = inode
+        self.behavior = behavior
+        self.spec = spec
+        self.state = TaskState.READY
+        self.nice = nice
+        self.cpus_allowed = cpus_allowed
+        self.cpu = -1
+        self.timeslice_remaining_ms = 0.0
+        self.job_instructions = job_instructions
+        self.instructions_remaining = job_instructions
+        self.jobs_completed = 0
+        self.total_busy_s = 0.0
+        self.total_energy_j = 0.0
+        self.migrations = 0
+        self.profile: "EnergyProfile | None" = None
+        self.first_timeslice_done = False
+        self.run_remaining_s: float | None = None  #: interactive run budget
+        self.wake_at_ms: int | None = None
+        self.started_at_ms = 0
+        #: responsiveness accounting: set when the task becomes ready
+        #: (fork or wakeup), cleared when it first executes again.
+        self.ready_since_ms: int | None = None
+        self.wake_latency_sum_ms = 0.0
+        self.wake_latency_max_ms = 0.0
+        self.wake_latency_n = 0
+        #: cache-affinity state (§4.1/§6.5): instructions still to
+        #: execute at reduced speed after the last migration, and the
+        #: lifetime total of instructions lost to cold caches.
+        self.cold_instructions_remaining = 0.0
+        self.warmup_instructions_lost = 0.0
+
+    # -- convenience --------------------------------------------------------
+    @property
+    def profile_power_w(self) -> float:
+        """The task's current energy-profile power (0 if no profile yet)."""
+        return self.profile.power_w if self.profile is not None else 0.0
+
+    @property
+    def is_runnable(self) -> bool:
+        return self.state in (TaskState.READY, TaskState.RUNNING)
+
+    def allowed_on(self, cpu_id: int) -> bool:
+        """Whether the task's affinity mask permits this CPU."""
+        return self.cpus_allowed is None or cpu_id in self.cpus_allowed
+
+    def note_ready(self, now_ms: int) -> None:
+        """Mark the instant the task became runnable (fork or wake)."""
+        self.ready_since_ms = now_ms
+
+    def note_dispatched(self, now_ms: int) -> None:
+        """Record the ready-to-running latency, if a wake was pending."""
+        if self.ready_since_ms is None:
+            return
+        latency = float(now_ms - self.ready_since_ms)
+        self.wake_latency_sum_ms += latency
+        self.wake_latency_n += 1
+        if latency > self.wake_latency_max_ms:
+            self.wake_latency_max_ms = latency
+        self.ready_since_ms = None
+
+    @property
+    def mean_wake_latency_ms(self) -> float:
+        """Average ready-to-running latency (responsiveness, §1)."""
+        if self.wake_latency_n == 0:
+            return 0.0
+        return self.wake_latency_sum_ms / self.wake_latency_n
+
+    def start_job(self) -> None:
+        """Reset per-job progress (closed-loop respawn)."""
+        self.instructions_remaining = self.job_instructions
+
+    def retire(self, instructions: float) -> bool:
+        """Account executed instructions; return True if the job finished."""
+        if instructions < 0:
+            raise ValueError("instructions must be non-negative")
+        self.instructions_remaining -= instructions
+        if self.instructions_remaining <= 0:
+            self.jobs_completed += 1
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"Task(pid={self.pid}, name={self.name!r}, state={self.state.value}, "
+            f"cpu={self.cpu}, profile={self.profile_power_w:.1f}W)"
+        )

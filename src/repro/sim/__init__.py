@@ -1,0 +1,25 @@
+"""Discrete-time simulation substrate.
+
+The engine advances the simulated world in fixed *ticks*, mirroring the
+timer-tick-driven structure of the Linux 2.6 scheduler the paper modifies.
+All stochastic behaviour draws from named, seed-derived random streams so
+experiments are reproducible bit-for-bit.
+"""
+
+from repro.sim.clock import Clock
+from repro.sim.engine import Engine, TickComponent
+from repro.sim.events import EventKind, EventRecord
+from repro.sim.rng import RngFactory
+from repro.sim.trace import CounterSet, TimeSeries, Tracer
+
+__all__ = [
+    "Clock",
+    "CounterSet",
+    "Engine",
+    "EventKind",
+    "EventRecord",
+    "RngFactory",
+    "TickComponent",
+    "TimeSeries",
+    "Tracer",
+]

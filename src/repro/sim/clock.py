@@ -1,0 +1,61 @@
+"""Simulated time.
+
+Time is kept as an integer count of ticks to avoid floating-point drift
+over long runs; one tick is a configurable number of milliseconds
+(default 10 ms, i.e. the granularity of a HZ=100 kernel timer).
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """Monotonic simulated clock advancing in fixed ticks.
+
+    Parameters
+    ----------
+    tick_ms:
+        Length of one tick in milliseconds.  Must be a positive integer.
+    """
+
+    __slots__ = ("tick_ms", "_ticks")
+
+    def __init__(self, tick_ms: int = 10) -> None:
+        if tick_ms <= 0:
+            raise ValueError(f"tick_ms must be positive, got {tick_ms}")
+        self.tick_ms = int(tick_ms)
+        self._ticks = 0
+
+    @property
+    def ticks(self) -> int:
+        """Number of whole ticks elapsed since the start of the run."""
+        return self._ticks
+
+    @property
+    def now_ms(self) -> int:
+        """Current simulated time in milliseconds."""
+        return self._ticks * self.tick_ms
+
+    @property
+    def now_s(self) -> float:
+        """Current simulated time in seconds."""
+        return self._ticks * self.tick_ms / 1000.0
+
+    @property
+    def tick_s(self) -> float:
+        """Length of one tick in seconds."""
+        return self.tick_ms / 1000.0
+
+    def advance(self) -> int:
+        """Advance the clock by one tick and return the new tick count."""
+        self._ticks += 1
+        return self._ticks
+
+    def ticks_for_ms(self, duration_ms: float) -> int:
+        """Number of ticks covering ``duration_ms`` (rounded up, minimum 1)."""
+        if duration_ms <= 0:
+            raise ValueError(f"duration must be positive, got {duration_ms}")
+        whole, rem = divmod(int(duration_ms), self.tick_ms)
+        return max(1, whole + (1 if rem else 0))
+
+    def __repr__(self) -> str:
+        return f"Clock(tick_ms={self.tick_ms}, now_ms={self.now_ms})"

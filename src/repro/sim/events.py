@@ -1,0 +1,66 @@
+"""Typed event records for tracing scheduler activity.
+
+These are *simulation trace* events (migrations, throttling transitions,
+task lifecycle), not to be confused with the hardware *event monitoring
+counter* events in :mod:`repro.cpu.events`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class EventKind(enum.Enum):
+    """Kinds of trace events emitted by the simulator."""
+
+    TASK_START = "task_start"
+    TASK_EXIT = "task_exit"
+    TASK_BLOCK = "task_block"
+    TASK_WAKE = "task_wake"
+    MIGRATION = "migration"
+    THROTTLE_ON = "throttle_on"
+    THROTTLE_OFF = "throttle_off"
+    BALANCE_PASS = "balance_pass"
+    PHASE_CHANGE = "phase_change"
+
+
+class MigrationReason(enum.Enum):
+    """Why a task was moved between runqueues.
+
+    The paper distinguishes migrations made by the (energy-extended) load
+    balancer from active hot-task migrations; exchanges are the cool tasks
+    moved back to preserve load balance (§4.4, §4.5).
+    """
+
+    LOAD_BALANCE = "load_balance"
+    ENERGY_BALANCE = "energy_balance"
+    HOT_TASK = "hot_task"
+    EXCHANGE = "exchange"
+    PLACEMENT = "placement"
+
+
+@dataclass(frozen=True, slots=True)
+class EventRecord:
+    """One trace event.
+
+    Attributes
+    ----------
+    time_ms:
+        Simulated time the event occurred.
+    kind:
+        The event class.
+    cpu:
+        Logical CPU id the event pertains to (destination CPU for
+        migrations), or ``-1`` when not CPU-specific.
+    pid:
+        Task id, or ``-1`` when not task-specific.
+    detail:
+        Free-form metadata (e.g. source CPU and reason for migrations).
+    """
+
+    time_ms: int
+    kind: EventKind
+    cpu: int = -1
+    pid: int = -1
+    detail: dict = field(default_factory=dict)

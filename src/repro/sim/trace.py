@@ -1,0 +1,137 @@
+"""Tracing: time series, event logs, and named counters.
+
+A :class:`Tracer` is threaded through the simulator; components record
+scalar series (thermal power per CPU, ...), discrete events (migrations,
+throttle transitions), and monotonic counters (jobs completed, ...).
+Sampling of series is decimated to a configurable interval so a 15-minute
+run does not hold millions of points.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+import numpy as np
+
+from repro.sim.events import EventKind, EventRecord
+
+
+class TimeSeries:
+    """Append-only (time, value) series with numpy export."""
+
+    __slots__ = ("name", "_t", "_v")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._t: list[float] = []
+        self._v: list[float] = []
+
+    def append(self, t_s: float, value: float) -> None:
+        self._t.append(t_s)
+        self._v.append(value)
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._t, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._v, dtype=float)
+
+    def last(self) -> float:
+        if not self._v:
+            raise ValueError(f"series {self.name!r} is empty")
+        return self._v[-1]
+
+    def mean(self) -> float:
+        if not self._v:
+            raise ValueError(f"series {self.name!r} is empty")
+        return float(np.mean(self._v))
+
+    def __repr__(self) -> str:
+        return f"TimeSeries({self.name!r}, n={len(self)})"
+
+
+class CounterSet:
+    """Named monotonic counters."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = defaultdict(int)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self._counts[name] += amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    def __repr__(self) -> str:
+        return f"CounterSet({dict(self._counts)!r})"
+
+
+class Tracer:
+    """Collects series, events, and counters for one simulation run.
+
+    Parameters
+    ----------
+    sample_interval_s:
+        Minimum spacing between consecutive samples of the same series.
+        ``0`` records every sample offered.
+    """
+
+    def __init__(self, sample_interval_s: float = 0.5) -> None:
+        self.sample_interval_s = float(sample_interval_s)
+        self.series: dict[str, TimeSeries] = {}
+        self.events: list[EventRecord] = []
+        self.counters = CounterSet()
+        self._last_sample: dict[str, float] = {}
+
+    # -- series -----------------------------------------------------------
+    def sample(self, name: str, t_s: float, value: float) -> None:
+        """Record ``value`` for series ``name`` subject to decimation."""
+        last = self._last_sample.get(name)
+        if last is not None and (t_s - last) < self.sample_interval_s:
+            return
+        self._last_sample[name] = t_s
+        series = self.series.get(name)
+        if series is None:
+            series = TimeSeries(name)
+            self.series[name] = series
+        series.append(t_s, value)
+
+    def get_series(self, name: str) -> TimeSeries:
+        try:
+            return self.series[name]
+        except KeyError:
+            raise KeyError(
+                f"no series {name!r}; recorded: {sorted(self.series)}"
+            ) from None
+
+    def series_matching(self, prefix: str) -> list[TimeSeries]:
+        """All series whose name starts with ``prefix``, sorted by name."""
+        return [self.series[k] for k in sorted(self.series) if k.startswith(prefix)]
+
+    # -- events -----------------------------------------------------------
+    def event(self, record: EventRecord) -> None:
+        self.events.append(record)
+
+    def events_of(self, kind: EventKind) -> list[EventRecord]:
+        return [e for e in self.events if e.kind is kind]
+
+    def count_events(self, kind: EventKind, predicate=None) -> int:
+        events: Iterable[EventRecord] = self.events_of(kind)
+        if predicate is not None:
+            events = (e for e in events if predicate(e))
+        return sum(1 for _ in events)
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer(series={len(self.series)}, events={len(self.events)}, "
+            f"counters={len(self.counters.as_dict())})"
+        )

@@ -1,0 +1,618 @@
+"""The simulated machine: hardware + kernel + workload, advanced per tick.
+
+:class:`System` wires every substrate together the way §5 describes the
+kernel integration:
+
+* an execution step runs each logical CPU's current task for one tick,
+  crediting event counters and retiring instructions;
+* the energy estimator turns counter deltas into energy, charged to the
+  running task's profile at interval boundaries (task switch, timeslice
+  end, blocking — the variable-period EWMA) and into the CPU's thermal
+  power every tick;
+* a thermal step integrates each package's true RC temperature from
+  ground-truth power (and a parallel RC from *estimated* power, so the
+  §4.2 "< 1 K estimation error" claim is checkable);
+* the throttle controller halts CPUs whose thermal power exceeds the
+  limit (when temperature control is enabled);
+* scheduler housekeeping expires timeslices, runs the policy's periodic
+  balancer (staggered per CPU), and checks hot-task migration;
+* the workload driver forks task slots and respawns finished jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SystemConfig
+from repro.core.containers import ContainerConfig, ContainerManager
+from repro.core.metrics import MetricsBoard
+from repro.core.policy import (
+    BaselinePolicy,
+    EnergyAwareConfig,
+    EnergyAwarePolicy,
+    SchedulingPolicy,
+)
+from repro.core.profile import EnergyProfile
+from repro.core.estimator import build_calibrated_estimator
+from repro.cpu.dvfs import DvfsController, dynamic_power_scale
+from repro.cpu.frequency import ExecutionModel
+from repro.cpu.pmc import CounterBank
+from repro.cpu.power import GroundTruthPower
+from repro.cpu.thermal import ThermalDiode, ThermalRC
+from repro.cpu.throttle import ThrottleController
+from repro.cpu.topology import Topology
+from repro.sched.domains import build_domains
+from repro.sched.priorities import timeslice_ms
+from repro.sched.runqueue import RunQueue
+from repro.sched.task import Task, TaskState
+from repro.sim.clock import Clock
+from repro.sim.events import EventKind, EventRecord
+from repro.sim.rng import RngFactory
+from repro.sim.trace import Tracer
+from repro.workloads.generator import TaskSpec, WorkloadSpec
+from repro.workloads.programs import PROGRAMS
+
+
+@dataclass
+class SlotState:
+    """Runtime state of one workload slot."""
+
+    index: int
+    spec: TaskSpec
+    task: Task | None = None
+    forked: bool = False
+    finished_jobs: int = 0
+
+
+class System:
+    """One complete simulated machine plus its workload."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        workload: WorkloadSpec,
+        policy: str = "energy",
+        policy_config: EnergyAwareConfig | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if policy not in ("energy", "baseline"):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.config = config
+        self.workload = workload
+        self.policy_name = policy
+        self.tracer = tracer if tracer is not None else Tracer(config.sample_interval_s)
+        self.rng = RngFactory(config.seed)
+        spec = config.machine
+
+        # -- hardware ---------------------------------------------------------
+        self.topology = Topology(spec)
+        self.n_cpus = len(self.topology)
+        self.exec_model = ExecutionModel(
+            freq_hz=spec.freq_hz, smt_thread_factor=config.smt_thread_factor
+        )
+        self.power = GroundTruthPower(config.power)
+        self.banks = [
+            CounterBank(c, self.rng.stream(f"pmc:{c}"), config.counter_jitter_sigma)
+            for c in range(self.n_cpus)
+        ]
+        self._threads_per_pkg = spec.threads_per_core * spec.cores_per_package
+        self._halted_share_w = config.power.halted_package_w / self._threads_per_pkg
+        idle_temps = []
+        self.true_rc: list[ThermalRC] = []
+        self.est_rc: list[ThermalRC] = []
+        for pkg in range(spec.n_packages):
+            params = config.thermal_for_package(pkg)
+            idle_temp = params.steady_state_c(config.power.halted_package_w)
+            idle_temps.append(idle_temp)
+            self.true_rc.append(ThermalRC(params, initial_c=idle_temp))
+            self.est_rc.append(ThermalRC(params, initial_c=idle_temp))
+        self.throttle = ThrottleController(self.n_cpus, config.throttle)
+        self.dvfs = DvfsController(self.n_cpus)
+        self._dvfs_mode = config.throttle.enabled and config.throttle.mode == "dvfs"
+        self._freq_scale = [1.0] * self.n_cpus
+
+        # -- estimator (calibrated as in §3.2) ---------------------------------
+        self.estimator = build_calibrated_estimator(
+            self.power,
+            self.exec_model,
+            PROGRAMS.values(),
+            self.rng.stream("calibration"),
+            smt=spec.smt_enabled,
+        )
+
+        # -- scheduler --------------------------------------------------------
+        self.runqueues = {c: RunQueue(c) for c in range(self.n_cpus)}
+        self.hierarchy = build_domains(self.topology)
+        max_power = {
+            c: config.cpu_max_power_w(self.topology.package_of(c))
+            for c in range(self.n_cpus)
+        }
+        # Per-logical thermal power uses the package's RC time constant.
+        tau_by_cpu = {
+            c: config.thermal_for_package(self.topology.package_of(c)).tau_s
+            for c in range(self.n_cpus)
+        }
+        # MetricsBoard takes a single tau; allow heterogeneity by building
+        # with the first and fixing up each CPU's EWMA afterwards.
+        self.metrics = MetricsBoard(
+            self.topology,
+            self.runqueues,
+            tau_s=tau_by_cpu[0],
+            max_power_w=max_power,
+            initial_thermal_w=self._halted_share_w,
+        )
+        for c, tau in tau_by_cpu.items():
+            self.metrics.cpu(c).thermal.tau_s = tau
+
+        self.policy: SchedulingPolicy
+        if policy == "energy":
+            self.policy = EnergyAwarePolicy(
+                self.metrics,
+                self.hierarchy,
+                self.runqueues,
+                self._migrate,
+                policy_config,
+            )
+            self._profile_config = self.policy.config.profile
+        else:
+            base = BaselinePolicy(
+                self.hierarchy, self.runqueues, self._migrate
+            )
+            self.policy = base
+            self._profile_config = base.profile_config
+
+        # -- workload ----------------------------------------------------------
+        self.slots = [SlotState(i, s) for i, s in enumerate(workload.tasks)]
+        self.containers = ContainerManager()
+        self.exited_tasks: list[Task] = []
+        self._next_pid = 1
+        self._blocked: list[tuple[int, Task, int]] = []  # (wake_ms, task, cpu)
+
+        # -- per-tick bookkeeping ----------------------------------------------
+        self._interval_energy = [0.0] * self.n_cpus
+        self._interval_busy = [0.0] * self.n_cpus
+        self._running = [False] * self.n_cpus
+        self._est_power = [0.0] * self.n_cpus
+        self._dyn_power = [0.0] * self.n_cpus
+        self._mix_cache: dict[int, tuple[object, float]] = {}
+        self.instructions_retired: dict[str, float] = {}
+        self._est_err_sum = 0.0
+        self._est_err_n = 0
+        self._busy_ticks = [0] * self.n_cpus
+        self._total_ticks = 0
+        self._est_pkg_power = [0.0] * spec.n_packages
+        self.diode = ThermalDiode()
+        self._now_ms = 0
+        self.max_temp_err_k = 0.0
+        self.max_temp_seen_c = max(idle_temps)
+
+        # Tick periods.
+        tick = config.tick_ms
+        self._timeslice_ticks = max(1, config.timeslice_ms // tick)
+        self._balance_ticks = max(1, config.balance_interval_ms // tick)
+        self._idle_balance_ticks = max(1, config.idle_balance_interval_ms // tick)
+        self._hot_check_ticks = max(1, config.hot_check_interval_ms // tick)
+        self._sample_every = max(1, int(config.sample_interval_s * 1000) // tick)
+
+    # ------------------------------------------------------------------------
+    # Tick phases
+    # ------------------------------------------------------------------------
+    def tick(self, clock: Clock) -> None:
+        now_ms = clock.now_ms
+        self._now_ms = now_ms
+        if len(self.containers):
+            self.containers.refill_all(clock.tick_s)
+        self._wake_due(now_ms)
+        self._fork_due(now_ms)
+        self._dispatch()
+        self._execute(clock)
+        self._thermal_step(clock)
+        self._throttle_step(clock)
+        self._housekeeping(clock)
+        if clock.ticks % self._sample_every == 0:
+            self._sample_traces(clock)
+
+    # -- wakeups and forks ------------------------------------------------------
+    def _wake_due(self, now_ms: int) -> None:
+        if not self._blocked:
+            return
+        still: list[tuple[int, Task, int]] = []
+        for wake_ms, task, cpu in self._blocked:
+            if wake_ms <= now_ms:
+                self._resample_run_budget(task)
+                task.note_ready(now_ms)
+                self.runqueues[cpu].enqueue(task)
+                self.tracer.event(
+                    EventRecord(now_ms, EventKind.TASK_WAKE, cpu=cpu, pid=task.pid)
+                )
+            else:
+                still.append((wake_ms, task, cpu))
+        self._blocked = still
+
+    def _fork_due(self, now_ms: int) -> None:
+        for slot in self.slots:
+            if not slot.forked and slot.spec.arrival_s * 1000 <= now_ms:
+                self._fork(slot, now_ms)
+
+    def _fork(self, slot: SlotState, now_ms: int) -> Task:
+        """Create a new task for a slot and place it via the policy (§4.6)."""
+        spec = slot.spec
+        program = spec.program
+        behavior = program.build_behavior(
+            self.power,
+            self.exec_model.freq_hz,
+            self.rng.stream(f"behavior:slot{slot.index}"),
+        )
+        task = Task(
+            pid=self._next_pid,
+            name=program.name,
+            inode=program.inode,
+            behavior=behavior,
+            job_instructions=spec.job_instructions(self.exec_model.freq_hz),
+            spec=spec,
+            nice=spec.nice,
+            cpus_allowed=(
+                frozenset(spec.cpus_allowed) if spec.cpus_allowed is not None else None
+            ),
+        )
+        self._next_pid += 1
+        task.started_at_ms = now_ms
+        task.profile = EnergyProfile(
+            self._profile_config,
+            initial_power_w=self.policy.initial_profile_power(task),
+        )
+        self._resample_run_budget(task)
+        if spec.power_cap_w is not None:
+            self.containers.assign(task, ContainerConfig(refill_w=spec.power_cap_w))
+        cpu = self.policy.place_new_task(task)
+        task.note_ready(now_ms)
+        self.runqueues[cpu].enqueue(task)
+        slot.task = task
+        slot.forked = True
+        self.tracer.event(
+            EventRecord(now_ms, EventKind.TASK_START, cpu=cpu, pid=task.pid,
+                        detail={"name": program.name, "slot": slot.index})
+        )
+        return task
+
+    def _resample_run_budget(self, task: Task) -> None:
+        interactive = task.spec.program.interactive if task.spec else None
+        if interactive is None:
+            task.run_remaining_s = None
+            return
+        mean_run_s, _ = interactive
+        rng = self.rng.stream(f"interactive:{task.name}")
+        task.run_remaining_s = rng.expovariate(1.0 / mean_run_s)
+
+    # -- dispatch and execution ---------------------------------------------------
+    def _timeslice_for(self, task: Task) -> float:
+        """Timeslice length for a task (priority-scaled, §3.3's premise)."""
+        return timeslice_ms(task.nice, self.config.timeslice_ms)
+
+    def _dispatch(self) -> None:
+        eligible = self.containers.eligible if len(self.containers) else None
+        for rq in self.runqueues.values():
+            if rq.current is None:
+                task = rq.pick_next(eligible)
+                if task is not None and task.timeslice_remaining_ms <= 0:
+                    task.timeslice_remaining_ms = self._timeslice_for(task)
+
+    def _execute(self, clock: Clock) -> None:
+        tick_s = clock.tick_s
+        topology = self.topology
+        running = self._running
+        for c in range(self.n_cpus):
+            rq = self.runqueues[c]
+            running[c] = rq.current is not None and not self.throttle.is_throttled(c)
+            self._est_power[c] = 0.0
+            self._dyn_power[c] = 0.0
+        self._total_ticks += 1
+        for c in range(self.n_cpus):
+            if not running[c]:
+                continue
+            self._busy_ticks[c] += 1
+            rq = self.runqueues[c]
+            task = rq.current
+            assert task is not None
+            if task.ready_since_ms is not None:
+                task.note_dispatched(self._now_ms)
+            siblings = topology.siblings_of(c)
+            n_busy_threads = 1 + sum(1 for s in siblings if running[s])
+            sibling_busy = n_busy_threads > 1
+            mix = task.behavior.step(tick_s)
+            dyn_w = self._dynamic_power(mix)
+            cycles = self.exec_model.effective_cycles(tick_s, sibling_busy)
+            if sibling_busy:
+                dyn_w *= self.exec_model.smt_thread_factor
+            scale = self._freq_scale[c]
+            if scale < 1.0:
+                # DVFS: work slows linearly, dynamic power cubically.
+                cycles *= scale
+                dyn_w *= dynamic_power_scale(scale)
+            increments = self.banks[c].account(mix.rates_per_cycle, cycles)
+            # The kernel set the frequency, so it corrects the per-event
+            # energy for the lower voltage (counts already carry one
+            # factor of the frequency).
+            est_counts = increments if scale == 1.0 else increments * scale * scale
+            est_e = self.estimator.energy_j(
+                est_counts, tick_s, base_share=1.0 / n_busy_threads
+            )
+            if len(self.containers):
+                self.containers.charge(task, est_e)
+            self._interval_energy[c] += est_e
+            self._interval_busy[c] += tick_s
+            self._est_power[c] = est_e / tick_s
+            self._dyn_power[c] = dyn_w
+            task.total_busy_s += tick_s
+            task.total_energy_j += est_e
+            name = task.name
+            instructions = cycles * mix.ipc
+            if task.cold_instructions_remaining > 0.0:
+                instructions = self._apply_cache_warmup(task, instructions)
+            self.instructions_retired[name] = (
+                self.instructions_retired.get(name, 0.0) + instructions
+            )
+            job_done = task.retire(instructions)
+            task.timeslice_remaining_ms -= clock.tick_ms
+            if task.run_remaining_s is not None:
+                task.run_remaining_s -= tick_s
+            if job_done:
+                self._complete_job(task, clock)
+                if rq.current is not task:
+                    continue  # task exited (fork_new/none respawn)
+            if task.run_remaining_s is not None and task.run_remaining_s <= 0:
+                self._block(task, clock)
+                continue
+            container_exhausted = (
+                len(self.containers) > 0 and not self.containers.eligible(task)
+            )
+            if task.timeslice_remaining_ms <= 0 or container_exhausted:
+                self._end_interval(c, task)
+                eligible = (
+                    self.containers.eligible if len(self.containers) else None
+                )
+                nxt = rq.pick_next(eligible)
+                if nxt is not None and nxt.timeslice_remaining_ms <= 0:
+                    nxt.timeslice_remaining_ms = self._timeslice_for(nxt)
+
+    def _apply_cache_warmup(self, task: Task, instructions: float) -> float:
+        """Retire fewer instructions while the task re-warms caches.
+
+        §6.5: a migrated task runs slower until it has executed "some
+        millions of instructions"; the lost work is what the paper
+        weighs against the gain of not throttling.
+        """
+        factor = self.config.cold_cache_ipc_factor
+        cold_capacity = instructions * factor
+        if task.cold_instructions_remaining >= cold_capacity:
+            executed = cold_capacity
+            task.cold_instructions_remaining -= cold_capacity
+        else:
+            cold_part = task.cold_instructions_remaining
+            warm_time_fraction = 1.0 - cold_part / cold_capacity
+            executed = cold_part + instructions * warm_time_fraction
+            task.cold_instructions_remaining = 0.0
+        task.warmup_instructions_lost += instructions - executed
+        return executed
+
+    def _dynamic_power(self, mix) -> float:
+        key = id(mix)
+        cached = self._mix_cache.get(key)
+        if cached is not None and cached[0] is mix:
+            return cached[1]
+        dyn = self.power.dynamic_power_w(mix.rates_per_cycle, self.exec_model.freq_hz)
+        self._mix_cache[key] = (mix, dyn)
+        if len(self._mix_cache) > 4096:
+            self._mix_cache.clear()
+        return dyn
+
+    # -- interval accounting (profile updates, §3.3) --------------------------------
+    def _end_interval(self, cpu: int, task: Task) -> None:
+        busy = self._interval_busy[cpu]
+        if busy <= 0:
+            return
+        energy = self._interval_energy[cpu]
+        assert task.profile is not None
+        task.profile.record(energy, busy)
+        if not task.first_timeslice_done:
+            task.first_timeslice_done = True
+            self.policy.on_first_timeslice(task, energy / busy)
+        self._interval_energy[cpu] = 0.0
+        self._interval_busy[cpu] = 0.0
+
+    # -- job lifecycle -----------------------------------------------------------
+    def _complete_job(self, task: Task, clock: Clock) -> None:
+        self.tracer.counters.add("jobs_total")
+        self.tracer.counters.add(f"jobs:{task.name}")
+        slot = self._slot_of(task)
+        if slot is not None:
+            slot.finished_jobs += 1
+        respawn = task.spec.respawn if task.spec else "restart_same"
+        if respawn == "restart_same":
+            task.start_job()
+            return
+        # fork_new / none: the task exits.
+        cpu = task.cpu
+        self._end_interval(cpu, task)
+        self.runqueues[cpu].remove(task)
+        task.state = TaskState.EXITED
+        self.containers.release(task)
+        self.exited_tasks.append(task)
+        self.tracer.event(
+            EventRecord(clock.now_ms, EventKind.TASK_EXIT, cpu=cpu, pid=task.pid)
+        )
+        if slot is not None:
+            slot.task = None
+            if respawn == "fork_new":
+                self._fork(slot, clock.now_ms)
+
+    def _slot_of(self, task: Task) -> SlotState | None:
+        for slot in self.slots:
+            if slot.task is task:
+                return slot
+        return None
+
+    def _block(self, task: Task, clock: Clock) -> None:
+        cpu = task.cpu
+        self._end_interval(cpu, task)
+        self.runqueues[cpu].remove(task)
+        task.state = TaskState.BLOCKED
+        interactive = task.spec.program.interactive if task.spec else None
+        mean_block_s = interactive[1] if interactive else 0.1
+        rng = self.rng.stream(f"interactive:{task.name}")
+        wake_ms = clock.now_ms + max(
+            clock.tick_ms, int(rng.expovariate(1.0 / mean_block_s) * 1000)
+        )
+        self._blocked.append((wake_ms, task, cpu))
+        self.tracer.event(
+            EventRecord(clock.now_ms, EventKind.TASK_BLOCK, cpu=cpu, pid=task.pid)
+        )
+
+    # -- thermal and throttling -----------------------------------------------------
+    def _thermal_step(self, clock: Clock) -> None:
+        tick_s = clock.tick_s
+        topology = self.topology
+        spec = self.config.machine
+        pkg_all_halted = [False] * spec.n_packages
+        for pkg in range(spec.n_packages):
+            cpus = topology.cpus_of_package(pkg)
+            dyns = [self._dyn_power[c] for c in cpus if self._running[c]]
+            all_halted = not dyns
+            pkg_all_halted[pkg] = all_halted
+            true_w = self.power.sample_package_power_w(
+                dyns, all_halted, self.rng.stream(f"meter:{pkg}")
+            )
+            true_temp = self.true_rc[pkg].step(true_w, tick_s)
+            if all_halted:
+                est_w = self.config.power.halted_package_w
+            else:
+                est_w = sum(self._est_power[c] for c in cpus if self._running[c])
+            self._est_pkg_power[pkg] = est_w
+            est_temp = self.est_rc[pkg].step(est_w, tick_s)
+            err = abs(est_temp - true_temp)
+            if err > self.max_temp_err_k:
+                self.max_temp_err_k = err
+            if true_temp > self.max_temp_seen_c:
+                self.max_temp_seen_c = true_temp
+            if not all_halted and clock.ticks % self._sample_every == 0:
+                self._est_err_sum += abs(est_w - true_w) / true_w
+                self._est_err_n += 1
+        for c in range(self.n_cpus):
+            if self._running[c]:
+                power = self._est_power[c]
+            elif pkg_all_halted[self.topology.package_of(c)]:
+                # Fully halted package: each thread carries its share of
+                # the residual hlt draw, so idle packages settle at 13.6 W.
+                power = self._halted_share_w
+            else:
+                # Idle/halted thread beside a busy sibling: the active
+                # thread's estimate already covers the package's static
+                # power, so this thread contributes nothing extra.
+                power = 0.0
+            self.metrics.update_thermal(c, power, tick_s)
+
+    def _throttle_step(self, clock: Clock) -> None:
+        if not self.config.throttle.enabled:
+            return
+        package_scope = self.config.throttle.scope == "package"
+        for c in range(self.n_cpus):
+            if package_scope:
+                thermal = self.metrics.package_thermal_sum_w(c)
+                limit = self.metrics.package_max_power_w(c)
+            else:
+                thermal = self.metrics.thermal_power_w(c)
+                limit = self.metrics.max_power_w(c)
+            if self._dvfs_mode:
+                self._freq_scale[c] = self.dvfs.update(c, thermal, limit)
+                continue
+            was = self.throttle.is_throttled(c)
+            now = self.throttle.update(c, thermal, limit)
+            if now != was:
+                kind = EventKind.THROTTLE_ON if now else EventKind.THROTTLE_OFF
+                self.tracer.event(EventRecord(clock.now_ms, kind, cpu=c))
+
+    # -- periodic policy work -----------------------------------------------------
+    def _housekeeping(self, clock: Clock) -> None:
+        ticks = clock.ticks
+        for c in range(self.n_cpus):
+            rq = self.runqueues[c]
+            phase = ticks + c * 3
+            if phase % self._balance_ticks == 0:
+                self.policy.periodic_balance(c)
+            elif rq.is_idle and (ticks + c) % self._idle_balance_ticks == 0:
+                self.policy.periodic_balance(c)
+            if (ticks + c) % self._hot_check_ticks == 0:
+                self.policy.check_active_migration(c)
+
+    # -- migration callback ---------------------------------------------------------
+    def _migrate(self, task: Task, src: int, dst: int, reason: str) -> None:
+        if src == dst:
+            raise ValueError("migration source and destination are identical")
+        if not task.allowed_on(dst):
+            raise ValueError(
+                f"task pid={task.pid} affinity {sorted(task.cpus_allowed or ())} "
+                f"forbids CPU {dst}"
+            )
+        src_rq = self.runqueues[src]
+        if task is src_rq.current:
+            self._end_interval(src, task)
+        src_rq.remove(task)
+        self.runqueues[dst].enqueue(task)
+        task.migrations += 1
+        warmup = self.config.cache_warmup_instructions
+        if warmup > 0:
+            if self.topology.node_of(src) != self.topology.node_of(dst):
+                warmup *= self.config.numa_warmup_factor
+            task.cold_instructions_remaining = warmup
+        self.tracer.counters.add("migrations")
+        self.tracer.counters.add(f"migrations:{reason}")
+        self.tracer.event(
+            EventRecord(
+                self._now_ms,
+                EventKind.MIGRATION,
+                cpu=dst,
+                pid=task.pid,
+                detail={"src": src, "dst": dst, "reason": reason},
+            )
+        )
+
+    # -- tracing -----------------------------------------------------------------
+    def _sample_traces(self, clock: Clock) -> None:
+        t = clock.now_s
+        tracer = self.tracer
+        for c in range(self.n_cpus):
+            tracer.sample(f"thermal_power.cpu{c:02d}", t, self.metrics.thermal_power_w(c))
+        for pkg in range(self.config.machine.n_packages):
+            true_temp = self.true_rc[pkg].temperature_c
+            tracer.sample(f"temperature.pkg{pkg}", t, true_temp)
+            # What an online calibrator (§4.2) would observe: the coarse
+            # diode reading and the counter-estimated package power.
+            tracer.sample(f"diode.pkg{pkg}", t, self.diode.read(true_temp))
+            tracer.sample(f"est_power.pkg{pkg}", t, self._est_pkg_power[pkg])
+
+    # -- results helpers ------------------------------------------------------------
+    def fractional_jobs(self) -> float:
+        """Completed jobs plus fractional progress of in-flight jobs."""
+        total = 0.0
+        for slot in self.slots:
+            total += slot.finished_jobs
+            task = slot.task
+            if task is not None and task.state is not TaskState.EXITED:
+                done = 1.0 - task.instructions_remaining / task.job_instructions
+                total += max(0.0, min(1.0, done))
+        return total
+
+    def estimation_error(self) -> float:
+        """Mean relative error of package power estimates vs ground truth."""
+        if self._est_err_n == 0:
+            return 0.0
+        return self._est_err_sum / self._est_err_n
+
+    def cpu_utilization(self, cpu_id: int) -> float:
+        """Fraction of elapsed time this CPU executed a task."""
+        if self._total_ticks == 0:
+            return 0.0
+        return self._busy_ticks[cpu_id] / self._total_ticks
+
+    def live_tasks(self) -> list[Task]:
+        return [slot.task for slot in self.slots if slot.task is not None]

@@ -1,0 +1,53 @@
+"""Synthetic programs and workload scenario builders.
+
+The paper's test programs (Table 2: bitcnts, memrw, aluadd, pushpop,
+openssl, bzip2 — plus the Table 1 interactive set: bash, grep, sshd) are
+modelled as *phase machines* over instruction mixes, calibrated so their
+simulated power draw matches the published values and their
+timeslice-to-timeslice power volatility matches Table 1.
+"""
+
+from repro.workloads.behavior import (
+    AlternatingBehavior,
+    Behavior,
+    CyclicBehavior,
+    InstructionMix,
+    PhaseSpec,
+    SpikyBehavior,
+    StaticBehavior,
+)
+from repro.workloads.generator import (
+    WorkloadSpec,
+    TaskSpec,
+    homogeneity_scenario,
+    homogeneity_sweep,
+    mixed_table2_workload,
+    n_copies,
+    short_task_storm,
+    single_program_workload,
+)
+from repro.workloads.programs import PROGRAMS, ProgramSpec, program
+from repro.workloads.traces import PowerTrace, TraceSegment
+
+__all__ = [
+    "AlternatingBehavior",
+    "Behavior",
+    "CyclicBehavior",
+    "InstructionMix",
+    "PROGRAMS",
+    "PhaseSpec",
+    "PowerTrace",
+    "ProgramSpec",
+    "TraceSegment",
+    "SpikyBehavior",
+    "StaticBehavior",
+    "TaskSpec",
+    "WorkloadSpec",
+    "homogeneity_scenario",
+    "homogeneity_sweep",
+    "mixed_table2_workload",
+    "n_copies",
+    "program",
+    "short_task_storm",
+    "single_program_workload",
+]

@@ -1,0 +1,139 @@
+"""Trace-driven task behaviours.
+
+The built-in programs are phase *models*; this module lets users bring
+their own applications as explicit power traces — e.g. from a recorded
+production workload — and schedule them on the simulated machine:
+
+    trace = PowerTrace.from_csv('''
+        duration_s,power_w
+        5.0,45.0
+        2.0,61.0
+        5.0,38.0
+    ''')
+    spec = trace.to_program("myapp", inode=9001, looping=True)
+
+Each trace segment becomes a behaviour phase whose event mix is solved
+against the ground-truth power model, exactly as the built-in programs
+are calibrated, so the estimator and every scheduling policy treat
+trace-driven tasks identically to modelled ones.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+
+from repro.workloads.programs import FLAVOR_CONTROL, PhaseDef, ProgramSpec
+
+
+@dataclass(frozen=True, slots=True)
+class TraceSegment:
+    """One step of a power trace."""
+
+    duration_s: float
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("segment duration must be positive")
+        if self.power_w <= 0:
+            raise ValueError("segment power must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class PowerTrace:
+    """A sequence of (duration, package power) segments."""
+
+    segments: tuple[TraceSegment, ...]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError("trace needs at least one segment")
+
+    @property
+    def total_duration_s(self) -> float:
+        return sum(s.duration_s for s in self.segments)
+
+    def mean_power_w(self) -> float:
+        """Duration-weighted average power of the trace."""
+        return (
+            sum(s.duration_s * s.power_w for s in self.segments)
+            / self.total_duration_s
+        )
+
+    @staticmethod
+    def from_pairs(pairs: list[tuple[float, float]]) -> "PowerTrace":
+        """Build from ``(duration_s, power_w)`` tuples."""
+        return PowerTrace(tuple(TraceSegment(d, p) for d, p in pairs))
+
+    @staticmethod
+    def from_csv(text: str) -> "PowerTrace":
+        """Parse ``duration_s,power_w`` CSV text (header required)."""
+        reader = csv.DictReader(io.StringIO(text.strip()))
+        if reader.fieldnames is None or set(reader.fieldnames) != {
+            "duration_s", "power_w",
+        }:
+            raise ValueError(
+                "trace CSV needs exactly the columns duration_s, power_w"
+            )
+        pairs = [
+            (float(row["duration_s"]), float(row["power_w"])) for row in reader
+        ]
+        if not pairs:
+            raise ValueError("trace CSV has no data rows")
+        return PowerTrace.from_pairs(pairs)
+
+    def to_program(
+        self,
+        name: str,
+        inode: int,
+        ipc: float = 1.0,
+        flavor: tuple[float, ...] = FLAVOR_CONTROL,
+        looping: bool = True,
+        wobble_sigma: float = 0.01,
+        solo_job_s: float | None = None,
+    ) -> ProgramSpec:
+        """Turn the trace into a schedulable :class:`ProgramSpec`.
+
+        ``looping`` repeats the trace cyclically (a long-running
+        service); otherwise the last segment holds.  The trace's
+        durations are *busy-time* phase dwells, as for modelled
+        programs.
+        """
+        phases = tuple(
+            PhaseDef(
+                total_power_w=segment.power_w,
+                mean_duration_s=segment.duration_s,
+                label=f"t{i}",
+                duration_jitter=0.0,
+            )
+            for i, segment in enumerate(self.segments)
+        )
+        if len(phases) == 1:
+            kind = "static"
+        elif looping:
+            kind = "cyclic"
+        else:
+            # Non-looping: hold the last phase for a very long time.
+            phases = phases[:-1] + (
+                PhaseDef(
+                    total_power_w=self.segments[-1].power_w,
+                    mean_duration_s=1e9,
+                    label=f"t{len(phases) - 1}",
+                    duration_jitter=0.0,
+                ),
+            )
+            kind = "cyclic"
+        return ProgramSpec(
+            name=name,
+            inode=inode,
+            kind=kind if len(phases) > 1 else "static",
+            phases=phases,
+            flavor=flavor,
+            ipc=ipc,
+            wobble_sigma=wobble_sigma,
+            solo_job_s=(
+                solo_job_s if solo_job_s is not None else self.total_duration_s
+            ),
+        )

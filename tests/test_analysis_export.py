@@ -1,0 +1,112 @@
+"""Unit tests for trace export (CSV / JSON)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    events_to_csv,
+    run_summary,
+    run_summary_json,
+    series_to_csv,
+)
+from repro.api import run_simulation
+from repro.config import SystemConfig
+from repro.cpu.topology import MachineSpec
+from repro.sim.trace import TimeSeries
+from repro.workloads.generator import mixed_table2_workload
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = SystemConfig(
+        machine=MachineSpec.smp(4), max_power_per_cpu_w=60.0, seed=8
+    )
+    return run_simulation(config, mixed_table2_workload(1), duration_s=20)
+
+
+def make_series(name, points):
+    s = TimeSeries(name)
+    for t, v in points:
+        s.append(t, v)
+    return s
+
+
+class TestSeriesToCsv:
+    def test_single_series(self):
+        s = make_series("x", [(0.0, 1.0), (1.0, 2.0)])
+        rows = list(csv.reader(io.StringIO(series_to_csv([s]))))
+        assert rows[0] == ["time_s", "x"]
+        assert rows[1] == ["0.000", "1.0000"]
+
+    def test_multiple_series_share_grid(self):
+        a = make_series("a", [(0.0, 1.0), (1.0, 2.0)])
+        b = make_series("b", [(0.0, 10.0), (1.0, 20.0)])
+        rows = list(csv.reader(io.StringIO(series_to_csv([a, b]))))
+        assert rows[0] == ["time_s", "a", "b"]
+        assert rows[2] == ["1.000", "2.0000", "20.0000"]
+
+    def test_mismatched_schedule_interpolated(self):
+        a = make_series("a", [(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)])
+        b = make_series("b", [(0.0, 0.0), (2.0, 20.0)])
+        rows = list(csv.reader(io.StringIO(series_to_csv([a, b]))))
+        assert rows[2][2] == "10.0000"  # b interpolated at t=1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            series_to_csv([])
+        with pytest.raises(ValueError):
+            series_to_csv([make_series("x", [(0.0, 1.0)])])
+
+    def test_real_run_export(self, result):
+        text = series_to_csv(result.all_thermal_power_series())
+        rows = list(csv.reader(io.StringIO(text)))
+        assert len(rows[0]) == 5  # time + 4 CPUs
+        assert len(rows) > 10
+
+
+class TestEventsToCsv:
+    def test_header_and_rows(self, result):
+        rows = list(csv.reader(io.StringIO(events_to_csv(result))))
+        assert rows[0] == ["time_ms", "kind", "cpu", "pid", "detail"]
+        assert len(rows) - 1 == len(result.tracer.events)
+
+    def test_detail_is_valid_json(self, result):
+        rows = list(csv.reader(io.StringIO(events_to_csv(result))))
+        for row in rows[1:]:
+            json.loads(row[4])
+
+
+class TestRunSummary:
+    def test_summary_fields(self, result):
+        summary = run_summary(result)
+        assert summary["policy"] == "energy"
+        assert summary["machine"]["n_cpus"] == 4
+        assert summary["workload"]["tasks"]["bitcnts"] == 1
+        assert summary["throughput"]["fractional_jobs"] > 0
+        assert len(summary["throttling"]["per_cpu"]) == 4
+        assert 0 <= summary["estimation"]["mean_relative_error"] < 0.2
+
+    def test_utilization_and_responsiveness_sections(self, result):
+        summary = run_summary(result)
+        util = summary["utilization"]
+        assert len(util["per_cpu"]) == 4
+        assert util["average"] == pytest.approx(
+            sum(util["per_cpu"]) / 4
+        )
+        assert summary["responsiveness"]["max_wake_latency_ms"] >= (
+            summary["responsiveness"]["mean_wake_latency_ms"]
+        ) >= 0
+
+    def test_migration_reasons_consistent(self, result):
+        summary = run_summary(result)
+        assert sum(summary["migrations"]["by_reason"].values()) == (
+            summary["migrations"]["total"]
+        )
+
+    def test_json_round_trip(self, result):
+        text = run_summary_json(result)
+        parsed = json.loads(text)
+        assert parsed == run_summary(result)

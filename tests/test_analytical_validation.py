@@ -1,0 +1,125 @@
+"""Closed-form validation: the simulator against pencil-and-paper.
+
+For simple steady states the physics has analytical solutions; these
+tests pin the simulator to them, so regressions in the execution or
+thermal pipeline cannot hide behind tuned benchmarks.
+"""
+
+import pytest
+
+from repro.api import run_simulation
+from repro.config import SystemConfig
+from repro.cpu.thermal import ThermalParams
+from repro.cpu.throttle import ThrottleConfig
+from repro.cpu.topology import MachineSpec
+from repro.workloads.generator import single_program_workload
+
+HALTED_W = 13.6
+BITCNTS_W = 61.0
+
+
+class TestThrottleDutyCycle:
+    def test_hlt_duty_matches_power_balance(self):
+        """Holding thermal power at limit L by duty-cycling between
+        P_run and P_halt gives duty = (L - P_halt) / (P_run - P_halt) —
+        the §6.4 arithmetic behind 'the processor would have to be
+        throttled 33 % of the time ... [but] consumes 13.6 W when put
+        into a sleep state'."""
+        limit = 40.0
+        config = SystemConfig(
+            machine=MachineSpec.smp(1),
+            max_power_per_cpu_w=limit,
+            throttle=ThrottleConfig(enabled=True),
+            seed=2,
+        )
+        result = run_simulation(
+            config, single_program_workload("bitcnts", 1),
+            policy="baseline", duration_s=300,
+        )
+        expected_duty = (limit - HALTED_W) / (BITCNTS_W - HALTED_W)
+        measured_duty = 1.0 - result.throttle_fraction(0)
+        assert measured_duty == pytest.approx(expected_duty, rel=0.06)
+
+    def test_ideal_vs_real_halt_power(self):
+        """The paper: with zero sleep power the 40 W limit would need
+        33 % throttling; the real 13.6 W raises it.  Check both ends."""
+        ideal_duty = 40.0 / BITCNTS_W                     # 0.656
+        real_duty = (40.0 - HALTED_W) / (BITCNTS_W - HALTED_W)  # 0.557
+        assert ideal_duty == pytest.approx(0.656, abs=0.01)
+        assert real_duty < ideal_duty
+
+
+class TestSteadyTemperature:
+    def test_matches_ambient_plus_pr(self):
+        params = ThermalParams(r_k_per_w=0.28, c_j_per_k=50.0, ambient_c=22.0)
+        config = SystemConfig(
+            machine=MachineSpec.smp(1),
+            max_power_per_cpu_w=500.0,
+            thermal=params,
+            seed=2,
+        )
+        result = run_simulation(
+            config, single_program_workload("pushpop", 1),
+            policy="baseline", duration_s=150,
+        )
+        # pushpop: 47 W -> T = 22 + 47 * 0.28 = 35.16 C.
+        assert result.temperature_series(0).last() == pytest.approx(
+            22.0 + 47.0 * 0.28, abs=0.6
+        )
+
+    def test_idle_package_sits_at_halted_steady_state(self):
+        params = ThermalParams(r_k_per_w=0.30, ambient_c=25.0)
+        config = SystemConfig(
+            machine=MachineSpec.smp(2),
+            max_power_per_cpu_w=500.0,
+            thermal=params,
+            seed=2,
+        )
+        result = run_simulation(
+            config, single_program_workload("pushpop", 1),
+            policy="baseline", duration_s=120,
+        )
+        busy_cpu = result.system.live_tasks()[0].cpu
+        idle_cpu = 1 - busy_cpu
+        assert result.temperature_series(idle_cpu).last() == pytest.approx(
+            25.0 + HALTED_W * 0.30, abs=0.3
+        )
+
+
+class TestThroughputArithmetic:
+    def test_job_count_matches_duration_over_solo_time(self):
+        config = SystemConfig(
+            machine=MachineSpec.smp(1), max_power_per_cpu_w=500.0, seed=2
+        )
+        result = run_simulation(
+            config, single_program_workload("aluadd", 1),
+            policy="baseline", duration_s=120,
+        )
+        # aluadd solo job = 30 s: 120 s -> exactly 4 jobs of progress.
+        assert result.fractional_jobs() == pytest.approx(4.0, rel=0.01)
+
+    def test_two_tasks_one_cpu_half_throughput_each(self):
+        from repro.workloads.generator import WorkloadSpec, n_copies
+
+        config = SystemConfig(
+            machine=MachineSpec.smp(1), max_power_per_cpu_w=500.0, seed=2
+        )
+        result = run_simulation(
+            config, WorkloadSpec("pair", tuple(n_copies("aluadd", 2))),
+            policy="baseline", duration_s=120,
+        )
+        assert result.fractional_jobs() == pytest.approx(4.0, rel=0.02)
+
+    def test_smt_pair_total_speedup(self):
+        """Two threads on one package retire 2 * 0.62 = 1.24x the solo
+        instruction rate."""
+        spec = MachineSpec(nodes=1, packages_per_node=1, threads_per_core=2)
+        config = SystemConfig(machine=spec, max_power_per_cpu_w=500.0, seed=2)
+        result = run_simulation(
+            config, single_program_workload("aluadd", 2),
+            policy="baseline", duration_s=120,
+        )
+        solo_jobs = 120.0 / 30.0
+        assert result.fractional_jobs() == pytest.approx(
+            solo_jobs * 2 * 0.62, rel=0.02
+        )

@@ -1,0 +1,89 @@
+"""Unit tests for the CLI and the experiment registry."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import REGISTRY, run_experiment
+
+
+class TestRegistry:
+    def test_all_evaluation_experiments_registered(self):
+        expected = {"fig6-7", "table3", "short-tasks", "fig8", "fig9",
+                    "fig10", "hotspot"}
+        assert set(REGISTRY) == expected
+
+    def test_entries_have_descriptions(self):
+        for info in REGISTRY.values():
+            assert info.description
+            assert callable(info.run)
+
+    def test_unknown_experiment_raises_with_choices(self):
+        with pytest.raises(KeyError, match="fig9"):
+            run_experiment("fig99")
+
+    def test_run_experiment_returns_report(self):
+        report = run_experiment("fig9", duration_s=30.0)
+        assert "Figure 9" in report
+        assert "CPU" in report
+
+    def test_duration_and_seed_forwarded(self):
+        short = run_experiment("fig9", duration_s=30.0, seed=3)
+        longer = run_experiment("fig9", duration_s=60.0, seed=3)
+        assert len(longer.splitlines()) > len(short.splitlines())
+
+
+class TestCli:
+    def test_list_prints_registry(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in REGISTRY:
+            assert name in out
+
+    def test_run_prints_report(self, capsys):
+        assert main(["run", "fig9", "--duration", "30"]) == 0
+        assert "Figure 9" in capsys.readouterr().out
+
+    def test_run_rejects_unknown_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "not-an-experiment"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_hotspot_experiment_via_cli(self, capsys):
+        assert main(["run", "hotspot", "--duration", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "unit" in out and "total" in out
+
+    def test_shipped_scenario_files_parse(self):
+        import pathlib
+
+        from repro.scenario import load_scenario
+
+        scenario_dir = (
+            pathlib.Path(__file__).parent.parent / "examples" / "scenarios"
+        )
+        files = sorted(scenario_dir.glob("*.json"))
+        assert len(files) >= 3
+        for path in files:
+            scenario = load_scenario(path)
+            assert scenario.duration_s > 0
+
+
+class TestRunAll:
+    def test_combined_report_contains_every_experiment(self, monkeypatch):
+        # Patch the registry runners so the meta-run is instant.
+        import repro.experiments as exp
+
+        for name, info in list(exp.REGISTRY.items()):
+            monkeypatch.setitem(
+                exp.REGISTRY, name,
+                exp.ExperimentInfo(name, info.description,
+                                   lambda duration_s=None, seed=None, n=name:
+                                   f"report-for-{n}"),
+            )
+        report = exp.run_all()
+        for name in exp.REGISTRY:
+            assert f"===== {name} =====" in report
+            assert f"report-for-{name}" in report

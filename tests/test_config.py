@@ -1,0 +1,87 @@
+"""Unit tests for the top-level system configuration."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.cpu.thermal import ThermalParams
+from repro.cpu.topology import MachineSpec
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = SystemConfig()
+        assert config.machine.n_cpus == 16
+
+    def test_rejects_timeslice_below_tick(self):
+        with pytest.raises(ValueError):
+            SystemConfig(tick_ms=10, timeslice_ms=5)
+
+    def test_rejects_both_limits(self):
+        with pytest.raises(ValueError, match="not both"):
+            SystemConfig(temp_limit_c=38.0, max_power_per_cpu_w=60.0)
+
+    def test_rejects_wrong_thermal_tuple_length(self):
+        with pytest.raises(ValueError, match="per-package"):
+            SystemConfig(
+                machine=MachineSpec.smp(4),
+                thermal=(ThermalParams(), ThermalParams()),
+            )
+
+    def test_rejects_zero_tick(self):
+        with pytest.raises(ValueError):
+            SystemConfig(tick_ms=0)
+
+
+class TestThermalResolution:
+    def test_single_params_shared(self):
+        params = ThermalParams(r_k_per_w=0.25)
+        config = SystemConfig(machine=MachineSpec.smp(4), thermal=params)
+        assert config.thermal_for_package(0) is params
+        assert config.thermal_for_package(3) is params
+
+    def test_per_package_params(self):
+        params = tuple(ThermalParams(r_k_per_w=0.2 + 0.05 * i) for i in range(4))
+        config = SystemConfig(machine=MachineSpec.smp(4), thermal=params)
+        assert config.thermal_for_package(2).r_k_per_w == pytest.approx(0.3)
+
+
+class TestMaxPowerResolution:
+    def test_direct_per_cpu_limit(self):
+        config = SystemConfig(
+            machine=MachineSpec.ibm_x445(smt=True), max_power_per_cpu_w=20.0
+        )
+        assert config.cpu_max_power_w(0) == 20.0
+        assert config.package_max_power_w(0) == 40.0  # two threads
+
+    def test_temp_limit_derives_from_resistance(self):
+        params = ThermalParams(r_k_per_w=0.26, ambient_c=25.0)
+        config = SystemConfig(
+            machine=MachineSpec.smp(8), thermal=params, temp_limit_c=38.0
+        )
+        assert config.package_max_power_w(0) == pytest.approx(13.0 / 0.26)
+        assert config.cpu_max_power_w(0) == pytest.approx(13.0 / 0.26)
+
+    def test_temp_limit_heterogeneous(self):
+        params = (
+            ThermalParams(r_k_per_w=0.26),
+            ThermalParams(r_k_per_w=0.13),
+        )
+        config = SystemConfig(
+            machine=MachineSpec.smp(2), thermal=params, temp_limit_c=38.0
+        )
+        assert config.package_max_power_w(1) == pytest.approx(
+            2 * config.package_max_power_w(0)
+        )
+
+    def test_no_limit_effectively_unconstrained(self):
+        config = SystemConfig(machine=MachineSpec.smp(2))
+        assert config.cpu_max_power_w(0) >= 1e8
+
+    def test_smt_splits_budget(self):
+        params = ThermalParams(r_k_per_w=0.26)
+        config = SystemConfig(
+            machine=MachineSpec.ibm_x445(smt=True), thermal=params, temp_limit_c=38.0
+        )
+        assert config.cpu_max_power_w(0) == pytest.approx(
+            config.package_max_power_w(0) / 2
+        )

@@ -1,0 +1,158 @@
+"""Unit and integration tests for energy containers (§2.3 combinability)."""
+
+import pytest
+
+from repro.api import run_simulation
+from repro.config import SystemConfig
+from repro.core.containers import ContainerConfig, ContainerManager, EnergyContainer
+from repro.cpu.topology import MachineSpec
+from repro.workloads.generator import TaskSpec, WorkloadSpec
+from repro.workloads.programs import program
+from tests.conftest import make_task
+
+
+class TestContainerConfig:
+    def test_capacity_is_refill_times_window(self):
+        config = ContainerConfig(refill_w=30.0, capacity_s=2.0)
+        assert config.capacity_j == pytest.approx(60.0)
+
+    @pytest.mark.parametrize("kwargs", [dict(refill_w=0), dict(refill_w=30, capacity_s=0)])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ContainerConfig(**kwargs)
+
+
+class TestEnergyContainer:
+    def test_starts_full(self):
+        container = EnergyContainer(ContainerConfig(refill_w=30.0))
+        assert container.balance_j == pytest.approx(30.0)
+        assert not container.is_empty
+
+    def test_charge_drains(self):
+        container = EnergyContainer(ContainerConfig(refill_w=30.0))
+        container.charge(25.0)
+        assert container.balance_j == pytest.approx(5.0)
+        container.charge(10.0)  # overdraft allowed
+        assert container.is_empty
+        assert container.balance_j == pytest.approx(-5.0)
+
+    def test_refill_saturates_at_capacity(self):
+        container = EnergyContainer(ContainerConfig(refill_w=30.0, capacity_s=1.0))
+        container.refill(100.0)
+        assert container.balance_j == pytest.approx(30.0)
+
+    def test_refill_recovers_from_overdraft(self):
+        container = EnergyContainer(ContainerConfig(refill_w=30.0))
+        container.charge(35.0)
+        container.refill(0.5)  # +15 J
+        assert container.balance_j == pytest.approx(10.0)
+        assert not container.is_empty
+
+    def test_charged_accounting(self):
+        container = EnergyContainer(ContainerConfig(refill_w=30.0))
+        container.charge(5.0)
+        container.charge(7.0)
+        assert container.charged_j == pytest.approx(12.0)
+
+    def test_validation(self):
+        container = EnergyContainer(ContainerConfig(refill_w=30.0))
+        with pytest.raises(ValueError):
+            container.charge(-1.0)
+        with pytest.raises(ValueError):
+            container.refill(-1.0)
+
+
+class TestContainerManager:
+    def test_uncapped_task_always_eligible(self):
+        manager = ContainerManager()
+        assert manager.eligible(make_task(pid=1))
+
+    def test_capped_task_denied_when_empty(self):
+        manager = ContainerManager()
+        task = make_task(pid=2)
+        manager.assign(task, ContainerConfig(refill_w=30.0))
+        assert manager.eligible(task)
+        manager.charge(task, 35.0)
+        assert not manager.eligible(task)
+
+    def test_refill_all_restores_eligibility(self):
+        manager = ContainerManager()
+        task = make_task(pid=2)
+        manager.assign(task, ContainerConfig(refill_w=30.0))
+        manager.charge(task, 31.0)
+        manager.refill_all(0.1)  # +3 J
+        assert manager.eligible(task)
+
+    def test_release_removes_cap(self):
+        manager = ContainerManager()
+        task = make_task(pid=2)
+        manager.assign(task, ContainerConfig(refill_w=30.0))
+        manager.charge(task, 100.0)
+        manager.release(task)
+        assert manager.eligible(task)
+        assert len(manager) == 0
+
+    def test_charge_without_container_is_noop(self):
+        manager = ContainerManager()
+        manager.charge(make_task(pid=3), 50.0)  # must not raise
+
+
+class TestContainerScheduling:
+    def _run(self, cap_w, duration_s=60, n_cpus=1, extra=()):
+        config = SystemConfig(
+            machine=MachineSpec.smp(n_cpus), max_power_per_cpu_w=100.0, seed=4
+        )
+        tasks = (TaskSpec(program=program("bitcnts"), power_cap_w=cap_w),) + extra
+        wl = WorkloadSpec("capped", tasks)
+        return run_simulation(config, wl, policy="baseline", duration_s=duration_s)
+
+    def test_cap_enforces_average_power(self):
+        result = self._run(cap_w=30.0)
+        task = result.system.live_tasks()[0]
+        avg_power = task.total_energy_j / result.duration_s
+        assert avg_power == pytest.approx(30.0, rel=0.05)
+
+    def test_duty_cycle_matches_cap_ratio(self):
+        result = self._run(cap_w=30.0)
+        task = result.system.live_tasks()[0]
+        # bitcnts draws ~61 W when running: duty ~ 30/61.
+        assert task.total_busy_s / result.duration_s == pytest.approx(
+            30.0 / 61.0, rel=0.08
+        )
+
+    def test_generous_cap_never_bites(self):
+        result = self._run(cap_w=80.0)
+        task = result.system.live_tasks()[0]
+        assert task.total_busy_s == pytest.approx(result.duration_s, rel=0.02)
+
+    def test_uncapped_sibling_soaks_up_the_slack(self):
+        """While the capped task is denied, the other queue task runs —
+        the container throttles the task, not the CPU."""
+        extra = (TaskSpec(program=program("memrw")),)
+        result = self._run(cap_w=20.0, extra=extra)
+        capped, free = result.system.live_tasks()
+        assert capped.name == "bitcnts"
+        total = capped.total_busy_s + free.total_busy_s
+        assert total == pytest.approx(result.duration_s, rel=0.02)
+        assert free.total_busy_s > capped.total_busy_s * 1.5
+
+    def test_composes_with_energy_aware_scheduling(self):
+        """The §2.3 claim: limiting (containers) and distributing
+        (energy balancing) compose.  A capped hot task still gets
+        migrated for heat reasons, and its cap still holds."""
+        config = SystemConfig(
+            machine=MachineSpec.smp(2), max_power_per_cpu_w=40.0, seed=4
+        )
+        wl = WorkloadSpec(
+            "capped-hot",
+            (TaskSpec(program=program("bitcnts"), power_cap_w=45.0),),
+        )
+        result = run_simulation(config, wl, policy="energy", duration_s=120)
+        task = result.system.live_tasks()[0]
+        avg_power = task.total_energy_j / result.duration_s
+        assert avg_power == pytest.approx(45.0, rel=0.08)  # cap holds
+        assert result.migrations() > 0  # heat balancing still acts
+
+    def test_validation_in_taskspec(self):
+        with pytest.raises(ValueError):
+            TaskSpec(program=program("bitcnts"), power_cap_w=0.0)

@@ -1,0 +1,236 @@
+"""Unit tests for merged energy + load balancing (paper §4.4, Fig. 4)."""
+
+import pytest
+
+from repro.core.energy_balance import EnergyBalanceConfig, EnergyBalancer
+from repro.cpu.topology import MachineSpec
+from tests.conftest import Harness
+
+
+def make_balancer(harness: Harness, **config_kwargs) -> EnergyBalancer:
+    config = EnergyBalanceConfig(**config_kwargs) if config_kwargs else None
+    return EnergyBalancer(
+        harness.metrics,
+        harness.hierarchy,
+        harness.runqueues,
+        lambda task, src, dst, reason: harness.migrate(task, src, dst, reason),
+        config,
+    )
+
+
+@pytest.fixture
+def smp2():
+    return Harness(MachineSpec.smp(2), max_power_w=60.0)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(thermal_margin_ratio=-0.1), dict(rq_margin_ratio=-0.1),
+         dict(min_gain_ratio=-0.1), dict(max_energy_moves=0)],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            EnergyBalanceConfig(**kwargs)
+
+    def test_rejects_disabling_both_conditions(self):
+        with pytest.raises(ValueError, match="condition"):
+            EnergyBalanceConfig(use_thermal_condition=False, use_rq_condition=False)
+
+
+class TestDualHotterCondition:
+    """§4.4: a remote queue is hotter only if BOTH thermal power ratio
+    and runqueue power ratio exceed the local ones."""
+
+    def _setup(self, smp2, remote_thermal, local_thermal):
+        # Remote CPU 0 holds two hot tasks; local CPU 1 two cool tasks.
+        smp2.add_task(0, 60.0, running=True)
+        smp2.add_task(0, 60.0)
+        smp2.add_task(1, 30.0, running=True)
+        smp2.add_task(1, 30.0)
+        smp2.set_thermal(0, remote_thermal)
+        smp2.set_thermal(1, local_thermal)
+
+    def test_pulls_when_both_conditions_hold(self, smp2):
+        self._setup(smp2, remote_thermal=50.0, local_thermal=20.0)
+        moved = make_balancer(smp2).balance(1)
+        assert moved > 0
+        assert any(r == "energy_balance" for (_, _, _, r) in smp2.migrations)
+
+    def test_no_pull_when_remote_not_thermally_hotter(self, smp2):
+        """Hot tasks but already-cool processor: no migration.  This is
+        the hysteresis that prevents ping-pong."""
+        self._setup(smp2, remote_thermal=20.0, local_thermal=50.0)
+        assert make_balancer(smp2).balance(1) == 0
+
+    def test_no_pull_when_rq_power_already_balanced(self, smp2):
+        # Equal runqueue powers, unequal thermal: the fast metric says
+        # the heat is already where it should be.
+        smp2.add_task(0, 45.0, running=True)
+        smp2.add_task(0, 45.0)
+        smp2.add_task(1, 45.0, running=True)
+        smp2.add_task(1, 45.0)
+        smp2.set_thermal(0, 50.0)
+        smp2.set_thermal(1, 20.0)
+        assert make_balancer(smp2).balance(1) == 0
+
+    def test_margin_blocks_marginal_difference(self, smp2):
+        self._setup(smp2, remote_thermal=26.0, local_thermal=25.0)
+        balancer = make_balancer(smp2, thermal_margin_ratio=0.10)
+        assert balancer.balance(1) == 0
+
+
+class TestHotTaskSelection:
+    def test_pulls_task_that_best_equalises(self, smp2):
+        smp2.add_task(0, 60.0, running=True)
+        hot = smp2.add_task(0, 58.0)
+        mild = smp2.add_task(0, 50.0)
+        smp2.add_task(1, 30.0, running=True)
+        smp2.set_thermal(0, 50.0)
+        smp2.set_thermal(1, 10.0)
+        make_balancer(smp2).balance(1)
+        pulled_pids = [pid for (pid, _, _, r) in smp2.migrations if r == "energy_balance"]
+        assert hot.pid in pulled_pids or mild.pid in pulled_pids
+        # Never the running task.
+        assert smp2.runqueues[0].current is not None
+        assert smp2.runqueues[0].current.cpu == 0
+
+    def test_never_empties_remote_queue(self, smp2):
+        only = smp2.add_task(0, 60.0, running=True)
+        smp2.add_task(1, 20.0, running=True)
+        smp2.add_task(1, 20.0)
+        smp2.set_thermal(0, 55.0)
+        smp2.set_thermal(1, 15.0)
+        make_balancer(smp2).balance(1)
+        assert only.cpu == 0
+
+    def test_skips_when_no_gain(self, smp2):
+        # Both queues hold one queued 45 W task; pulling would just swap
+        # the imbalance direction.
+        smp2.add_task(0, 45.0, running=True)
+        smp2.add_task(0, 45.0)
+        smp2.add_task(1, 44.0, running=True)
+        smp2.add_task(1, 44.0)
+        smp2.set_thermal(0, 50.0)
+        smp2.set_thermal(1, 10.0)
+        assert make_balancer(smp2).balance(1) == 0
+
+
+class TestExchange:
+    def test_cool_task_migrated_back_on_load_imbalance(self, smp2):
+        """Fig. 4: 'Created load imbalance? -> migrate cool task back'."""
+        smp2.add_task(0, 60.0, running=True)
+        hot = smp2.add_task(0, 60.0)
+        smp2.add_task(1, 25.0, running=True)
+        cool = smp2.add_task(1, 25.0)
+        smp2.set_thermal(0, 55.0)
+        smp2.set_thermal(1, 15.0)
+        make_balancer(smp2).balance(1)
+        reasons = [r for (_, _, _, r) in smp2.migrations]
+        assert "energy_balance" in reasons
+        assert "exchange" in reasons
+        # Net queue lengths preserved.
+        assert smp2.runqueues[0].nr_running == 2
+        assert smp2.runqueues[1].nr_running == 2
+        assert hot.cpu == 1
+        assert cool.cpu == 0
+
+    def test_no_exchange_when_lengths_stay_balanced(self, smp2):
+        smp2.add_task(0, 60.0, running=True)
+        smp2.add_task(0, 60.0)
+        smp2.add_task(0, 60.0)
+        smp2.add_task(1, 25.0, running=True)
+        smp2.set_thermal(0, 55.0)
+        smp2.set_thermal(1, 15.0)
+        make_balancer(smp2).balance(1)
+        reasons = [r for (_, _, _, r) in smp2.migrations]
+        assert "exchange" not in reasons
+
+
+class TestLoadStepEnergyAwareSelection:
+    def test_pulls_hot_tasks_from_hotter_cpu(self, smp2):
+        smp2.add_task(0, 45.0, running=True)
+        hot = smp2.add_task(0, 60.0)
+        cool = smp2.add_task(0, 25.0)
+        smp2.add_task(0, 45.0)
+        smp2.set_thermal(0, 50.0)
+        smp2.set_thermal(1, 10.0)
+        make_balancer(smp2).balance(1)
+        # CPU 1 was idle: load step pulls; since remote is hotter it
+        # prefers the hottest queued task.
+        assert hot.cpu == 1
+
+    def test_pulls_cool_tasks_from_cooler_cpu(self, smp2):
+        smp2.add_task(0, 45.0, running=True)
+        hot = smp2.add_task(0, 60.0)
+        cool = smp2.add_task(0, 25.0)
+        smp2.add_task(0, 45.0)
+        smp2.set_thermal(0, 10.0)  # remote is cooler than local
+        smp2.set_thermal(1, 50.0)
+        make_balancer(smp2).balance(1)
+        assert cool.cpu == 1
+        assert hot.cpu == 0
+
+
+class TestSmtLevel:
+    def test_no_energy_step_between_siblings(self):
+        """§4.7: the SMT-level domain skips energy balancing."""
+        h = Harness(MachineSpec.ibm_x445(smt=True), max_power_w=20.0)
+        h.add_task(0, 60.0, running=True)
+        h.add_task(0, 60.0)
+        h.add_task(8, 25.0, running=True)
+        h.add_task(8, 25.0)
+        h.set_thermal(0, 18.0)
+        h.set_thermal(8, 5.0)
+        # Make every other CPU look identical to CPU 8 so the only
+        # candidate imbalance is between the siblings 0 and 8.
+        for cpu in range(16):
+            if cpu not in (0, 8):
+                h.add_task(cpu, 25.0, running=True)
+                h.add_task(cpu, 25.0)
+                h.set_thermal(cpu, 5.0)
+        balancer = EnergyBalancer(
+            h.metrics, h.hierarchy, h.runqueues,
+            lambda t, s, d, r: h.migrate(t, s, d, r),
+        )
+        balancer.balance(8)
+        energy_moves = [m for m in h.migrations if m[3] == "energy_balance"]
+        assert not any(src == 0 and dst == 8 for (_, src, dst, _) in energy_moves)
+
+    def test_load_step_still_runs_between_siblings(self):
+        h = Harness(MachineSpec.ibm_x445(smt=True), max_power_w=20.0)
+        for _ in range(4):
+            h.add_task(0, 40.0)
+        balancer = EnergyBalancer(
+            h.metrics, h.hierarchy, h.runqueues,
+            lambda t, s, d, r: h.migrate(t, s, d, r),
+        )
+        balancer.balance(8)
+        load_moves = [m for m in h.migrations if m[3] == "load_balance"]
+        assert any(src == 0 and dst == 8 for (_, src, dst, _) in load_moves)
+
+
+class TestAblationModes:
+    def test_power_only_ignores_thermal(self, smp2):
+        smp2.add_task(0, 60.0, running=True)
+        smp2.add_task(0, 60.0)
+        smp2.add_task(1, 30.0, running=True)
+        smp2.add_task(1, 30.0)
+        # Thermal says remote is NOT hotter; power-only mode pulls anyway.
+        smp2.set_thermal(0, 10.0)
+        smp2.set_thermal(1, 50.0)
+        balancer = make_balancer(smp2, use_thermal_condition=False)
+        assert balancer.balance(1) > 0
+
+    def test_temperature_only_overbalances(self, smp2):
+        """Without the fast metric the balancer grabs the hottest task
+        even when queues are already equal — §4.3's over-balancing."""
+        smp2.add_task(0, 45.0, running=True)
+        hottest = smp2.add_task(0, 46.0)
+        smp2.add_task(1, 45.0, running=True)
+        smp2.add_task(1, 44.0)
+        smp2.set_thermal(0, 50.0)
+        smp2.set_thermal(1, 20.0)
+        balancer = make_balancer(smp2, use_rq_condition=False)
+        balancer.balance(1)
+        assert hottest.cpu == 1

@@ -1,0 +1,78 @@
+"""Unit tests for the §3.2 estimator calibration glue."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import build_calibrated_estimator
+from repro.cpu.frequency import ExecutionModel
+from repro.cpu.power import GroundTruthPower, PowerModelParams
+from repro.workloads.programs import PROGRAMS, program
+
+
+@pytest.fixture
+def power():
+    return GroundTruthPower(PowerModelParams())
+
+
+@pytest.fixture
+def exec_model():
+    return ExecutionModel(freq_hz=2.2e9)
+
+
+class TestCalibration:
+    def test_recovers_base_power(self, power, exec_model):
+        est = build_calibrated_estimator(
+            power, exec_model, PROGRAMS.values(), random.Random(1)
+        )
+        assert est.base_w == pytest.approx(20.0, rel=0.05)
+
+    def test_single_thread_estimates_match_table2(self, power, exec_model):
+        """Estimated power of each calibration program is close to its
+        Table 2 ground truth."""
+        est = build_calibrated_estimator(
+            power, exec_model, PROGRAMS.values(), random.Random(1)
+        )
+        rng = random.Random(2)
+        for name in ("bitcnts", "memrw", "aluadd", "pushpop"):
+            spec = program(name)
+            behavior = spec.build_behavior(power, 2.2e9, rng)
+            mix = behavior.step(0.1)
+            cycles = exec_model.effective_cycles(0.1, False)
+            est_w = est.power_w(mix.rates_per_cycle * cycles, 0.1)
+            true_w = 20.0 + power.dynamic_power_w(mix.rates_per_cycle, 2.2e9)
+            assert est_w == pytest.approx(true_w, rel=0.10), name
+
+    def test_smt_calibration_fits_both_operating_points(self, exec_model):
+        power = GroundTruthPower(PowerModelParams())
+        est = build_calibrated_estimator(
+            power, exec_model, PROGRAMS.values(), random.Random(3), smt=True
+        )
+        spec = program("bitcnts")
+        behavior = spec.build_behavior(power, 2.2e9, random.Random(4))
+        mix = behavior.step(0.1)
+        # Single thread.
+        c1 = exec_model.effective_cycles(0.1, False)
+        single = est.power_w(mix.rates_per_cycle * c1, 0.1, base_share=1.0)
+        assert single == pytest.approx(61.0, rel=0.08)
+        # Dual thread: half base + contended dynamic.
+        c2 = exec_model.effective_cycles(0.1, True)
+        dual = est.power_w(mix.rates_per_cycle * c2, 0.1, base_share=0.5)
+        dyn = power.dynamic_power_w(mix.rates_per_cycle, 2.2e9)
+        expected = 10.0 + 0.62 * dyn
+        assert dual == pytest.approx(expected, rel=0.08)
+
+    def test_rejects_empty_program_list(self, power, exec_model):
+        with pytest.raises(ValueError):
+            build_calibrated_estimator(power, exec_model, [], random.Random(0))
+
+    def test_deterministic_given_seed(self, power, exec_model):
+        a = build_calibrated_estimator(
+            power, exec_model, PROGRAMS.values(), random.Random(9)
+        )
+        b = build_calibrated_estimator(
+            power, exec_model, PROGRAMS.values(), random.Random(9)
+        )
+        assert a.base_w == b.base_w
+        np.testing.assert_array_equal(a.weights_nj, b.weights_nj)

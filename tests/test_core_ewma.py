@@ -1,0 +1,133 @@
+"""Unit tests for exponential averaging (paper §3.3, Eq. 2)."""
+
+import math
+
+import pytest
+
+from repro.core.ewma import ThermalEwma, VariablePeriodEwma
+
+
+class TestVariablePeriodEwma:
+    def test_first_sample_adopted(self):
+        ewma = VariablePeriodEwma(standard_period_s=0.1, weight_p=0.25)
+        assert ewma.update(50.0, 0.1) == 50.0
+
+    def test_standard_period_matches_eq2(self):
+        """A full-period sample applies exactly Eq. 2's weight p."""
+        ewma = VariablePeriodEwma(0.1, weight_p=0.25)
+        ewma.prime(40.0)
+        value = ewma.update(60.0, 0.1)
+        assert value == pytest.approx(0.25 * 60.0 + 0.75 * 40.0)
+
+    def test_short_period_weights_past_more(self):
+        """§3.3: shorter sampling period -> bigger weight for the past."""
+        standard = VariablePeriodEwma(0.1, 0.25)
+        short = VariablePeriodEwma(0.1, 0.25)
+        standard.prime(40.0)
+        short.prime(40.0)
+        standard.update(60.0, 0.1)
+        short.update(60.0, 0.05)
+        assert abs(short.value - 40.0) < abs(standard.value - 40.0)
+
+    def test_long_period_weights_past_less(self):
+        standard = VariablePeriodEwma(0.1, 0.25)
+        long_ = VariablePeriodEwma(0.1, 0.25)
+        standard.prime(40.0)
+        long_.prime(40.0)
+        standard.update(60.0, 0.1)
+        long_.update(60.0, 0.3)
+        assert abs(long_.value - 40.0) > abs(standard.value - 40.0)
+
+    def test_two_half_periods_equal_one_full(self):
+        """The compensation makes the average path-independent: two
+        half-period samples of the same value weigh exactly as one
+        full-period sample — the §3.3 requirement."""
+        split = VariablePeriodEwma(0.1, 0.25)
+        whole = VariablePeriodEwma(0.1, 0.25)
+        split.prime(40.0)
+        whole.prime(40.0)
+        split.update(60.0, 0.05)
+        split.update(60.0, 0.05)
+        whole.update(60.0, 0.1)
+        assert split.value == pytest.approx(whole.value)
+
+    def test_converges_to_constant_input(self):
+        ewma = VariablePeriodEwma(0.1, 0.25)
+        ewma.prime(0.0)
+        for _ in range(200):
+            ewma.update(55.0, 0.1)
+        assert ewma.value == pytest.approx(55.0, abs=1e-6)
+
+    def test_spike_vs_phase_change_discrimination(self):
+        """A one-slice spike moves the profile by p; a permanent change
+        dominates after a few slices (§3.3's design goal)."""
+        ewma = VariablePeriodEwma(0.1, 0.25)
+        ewma.prime(40.0)
+        ewma.update(80.0, 0.1)  # spike
+        after_spike = ewma.value
+        assert after_spike == pytest.approx(50.0)  # only p=25 % of the jump
+        for _ in range(8):
+            ewma.update(80.0, 0.1)  # permanent change
+        assert ewma.value > 76.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VariablePeriodEwma(0.0, 0.25)
+        with pytest.raises(ValueError):
+            VariablePeriodEwma(0.1, 0.0)
+        with pytest.raises(ValueError):
+            VariablePeriodEwma(0.1, 1.0)
+        ewma = VariablePeriodEwma(0.1, 0.5)
+        with pytest.raises(ValueError):
+            ewma.update(1.0, 0.0)
+
+    def test_initial_constructor_value(self):
+        ewma = VariablePeriodEwma(0.1, 0.25, initial=45.0)
+        ewma.update(65.0, 0.1)
+        assert ewma.value == pytest.approx(50.0)
+
+
+class TestThermalEwma:
+    def test_time_constant_step_response(self):
+        """After tau seconds of constant power the metric closes the gap
+        by 1 - 1/e — the calibration to the thermal model (§4.3)."""
+        ewma = ThermalEwma(tau_s=20.0, initial_w=0.0)
+        for _ in range(2000):
+            ewma.update(60.0, 0.01)
+        # 20 s elapsed = 1 tau
+        assert ewma.value_w == pytest.approx(60.0 * (1 - math.exp(-1)), rel=0.01)
+
+    def test_step_size_independence(self):
+        coarse = ThermalEwma(tau_s=10.0)
+        fine = ThermalEwma(tau_s=10.0)
+        coarse.update(50.0, 5.0)
+        for _ in range(500):
+            fine.update(50.0, 0.01)
+        assert coarse.value_w == pytest.approx(fine.value_w, rel=1e-6)
+
+    def test_tracks_temperature_shape(self):
+        """Thermal power follows the same exponential as an RC network
+        driven by the same power (Figure 3's 'thermal power' curve)."""
+        from repro.cpu.thermal import ThermalParams, ThermalRC
+
+        params = ThermalParams(r_k_per_w=0.3, c_j_per_k=66.7, ambient_c=0.0)
+        rc = ThermalRC(params, initial_c=0.0)
+        ewma = ThermalEwma(tau_s=params.tau_s, initial_w=0.0)
+        for _ in range(1500):
+            rc.step(50.0, 0.01)
+            ewma.update(50.0, 0.01)
+        # Same normalised trajectory: T / (P*R) == tp / P.
+        assert rc.temperature_c / (50.0 * 0.3) == pytest.approx(
+            ewma.value_w / 50.0, rel=1e-9
+        )
+
+    def test_prime(self):
+        ewma = ThermalEwma(tau_s=5.0)
+        ewma.prime(33.0)
+        assert ewma.value_w == 33.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThermalEwma(tau_s=0.0)
+        with pytest.raises(ValueError):
+            ThermalEwma(tau_s=1.0).update(1.0, -0.1)

@@ -1,0 +1,186 @@
+"""Unit tests for hot task migration (paper §4.5, Fig. 5; SMT §4.7)."""
+
+import pytest
+
+from repro.core.hot_migration import HotMigrationConfig, HotTaskMigrator
+from repro.cpu.topology import MachineSpec
+from tests.conftest import Harness
+
+
+def make_migrator(harness: Harness, **kwargs) -> HotTaskMigrator:
+    config = HotMigrationConfig(**kwargs) if kwargs else None
+    return HotTaskMigrator(
+        harness.metrics,
+        harness.hierarchy,
+        harness.runqueues,
+        lambda task, src, dst, reason: harness.migrate(task, src, dst, reason),
+        config,
+    )
+
+
+@pytest.fixture
+def smp4():
+    # 4 CPUs, 40 W budget each.
+    return Harness(MachineSpec.smp(4), max_power_w=40.0, initial_thermal_w=6.8)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(trigger_margin_w=-1), dict(min_delta_w=0), dict(cool_task_margin_w=-1)],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            HotMigrationConfig(**kwargs)
+
+
+class TestTrigger:
+    def test_triggers_near_limit_single_task(self, smp4):
+        smp4.add_task(0, 60.0, running=True)
+        smp4.set_thermal(0, 39.5)  # within 1 W of the 40 W budget
+        assert make_migrator(smp4).should_trigger(0)
+
+    def test_no_trigger_well_below_limit(self, smp4):
+        smp4.add_task(0, 60.0, running=True)
+        smp4.set_thermal(0, 30.0)
+        assert not make_migrator(smp4).should_trigger(0)
+
+    def test_no_trigger_with_multiple_tasks(self, smp4):
+        """Multi-task queues are energy balancing's job (§4.5)."""
+        smp4.add_task(0, 60.0, running=True)
+        smp4.add_task(0, 30.0)
+        smp4.set_thermal(0, 39.5)
+        assert not make_migrator(smp4).should_trigger(0)
+
+    def test_no_trigger_on_idle_cpu(self, smp4):
+        smp4.set_thermal(0, 39.5)
+        assert not make_migrator(smp4).should_trigger(0)
+
+
+class TestMigrationToIdle:
+    def test_migrates_to_coolest_idle_cpu(self, smp4):
+        task = smp4.add_task(0, 60.0, running=True)
+        smp4.set_thermal(0, 39.5)
+        smp4.set_thermal(1, 20.0)
+        smp4.set_thermal(2, 10.0)
+        smp4.set_thermal(3, 25.0)
+        assert make_migrator(smp4).check(0)
+        assert task.cpu == 2
+        assert smp4.migrations == [(task.pid, 0, 2, "hot_task")]
+
+    def test_requires_considerable_difference(self, smp4):
+        """§4.5: destination must be considerably cooler (min delta)."""
+        task = smp4.add_task(0, 60.0, running=True)
+        smp4.set_thermal(0, 39.5)
+        for cpu in (1, 2, 3):
+            smp4.set_thermal(cpu, 33.0)  # only 6.5 W cooler
+        assert not make_migrator(smp4, min_delta_w=10.0).check(0)
+        assert task.cpu == 0
+
+    def test_all_hot_stays_put(self, smp4):
+        """If the whole system is hot the task remains and throttling is
+        the last resort."""
+        task = smp4.add_task(0, 60.0, running=True)
+        for cpu in range(4):
+            smp4.set_thermal(cpu, 39.0)
+        assert not make_migrator(smp4).check(0)
+        assert task.cpu == 0
+
+
+class TestExchangeWithCoolTask:
+    def test_exchanges_with_single_cool_task(self, smp4):
+        hot = smp4.add_task(0, 60.0, running=True)
+        cool = smp4.add_task(2, 25.0, running=True)
+        smp4.set_thermal(0, 39.5)
+        smp4.set_thermal(1, 38.0)
+        smp4.set_thermal(2, 12.0)
+        smp4.set_thermal(3, 38.0)
+        assert make_migrator(smp4).check(0)
+        assert hot.cpu == 2
+        assert cool.cpu == 0
+        reasons = [r for (_, _, _, r) in smp4.migrations]
+        assert reasons == ["hot_task", "exchange"]
+
+    def test_no_exchange_if_dest_task_not_cool_enough(self, smp4):
+        hot = smp4.add_task(0, 60.0, running=True)
+        warm = smp4.add_task(2, 55.0, running=True)
+        smp4.set_thermal(0, 39.5)
+        smp4.set_thermal(1, 38.5)
+        smp4.set_thermal(2, 12.0)
+        smp4.set_thermal(3, 38.5)
+        assert not make_migrator(smp4, cool_task_margin_w=10.0).check(0)
+        assert hot.cpu == 0
+        assert warm.cpu == 2
+
+    def test_no_migration_to_multi_task_cpu(self, smp4):
+        hot = smp4.add_task(0, 60.0, running=True)
+        smp4.add_task(2, 25.0, running=True)
+        smp4.add_task(2, 25.0)
+        smp4.set_thermal(0, 39.5)
+        for cpu in (1, 3):
+            smp4.set_thermal(cpu, 38.5)
+        smp4.set_thermal(2, 12.0)
+        assert not make_migrator(smp4).check(0)
+        assert hot.cpu == 0
+
+
+class TestSmtRules:
+    @pytest.fixture
+    def smt(self):
+        # 16 logical CPUs, 20 W per logical = 40 W per package.
+        return Harness(
+            MachineSpec.ibm_x445(smt=True), max_power_w=20.0, initial_thermal_w=0.0
+        )
+
+    def test_trigger_uses_package_sum(self, smt):
+        """§4.7: migrate only when the SUM of sibling thermal powers
+        exceeds the package budget."""
+        smt.add_task(0, 60.0, running=True)
+        smt.set_thermal(0, 25.0)  # own thermal above own 20 W share...
+        smt.set_thermal(8, 5.0)   # ...but package sum 30 < 40 - margin
+        assert not make_migrator(smt).should_trigger(0)
+        smt.set_thermal(8, 14.5)  # package sum 39.5 > 39
+        assert make_migrator(smt).should_trigger(0)
+
+    def test_never_migrates_to_sibling(self, smt):
+        """Figure 9's first observation: bitcnts is never migrated to a
+        sibling CPU on the same physical processor."""
+        task = smt.add_task(0, 60.0, running=True)
+        smt.set_thermal(0, 39.5)
+        # Sibling CPU 8 is the coolest logical CPU of all.
+        smt.set_thermal(8, 0.0)
+        for cpu in range(1, 8):
+            smt.set_thermal(cpu, 10.0)
+            smt.set_thermal(cpu + 8, 10.0)
+        assert make_migrator(smt).check(0)
+        assert task.cpu != 8
+        assert task.cpu != 0
+
+    def test_prefers_same_node(self, smt):
+        """Figure 9's second observation: no inter-node migration while
+        a same-node package is cool enough."""
+        task = smt.add_task(0, 60.0, running=True)
+        smt.set_thermal(0, 39.5)
+        # Node-0 package 1 is cool; node-1 packages are even cooler.
+        for cpu in (1, 9):
+            smt.set_thermal(cpu, 10.0)
+        for cpu in (2, 3, 10, 11):
+            smt.set_thermal(cpu, 18.0)
+        for cpu in (4, 5, 6, 7, 12, 13, 14, 15):
+            smt.set_thermal(cpu, 0.0)
+        assert make_migrator(smt).check(0)
+        # Destination is on node 0 (cpu 1 or its sibling 9) even though
+        # node 1 is cooler in absolute terms.
+        assert task.cpu in (1, 9)
+
+    def test_crosses_node_when_local_node_hot(self, smt):
+        task = smt.add_task(0, 60.0, running=True)
+        smt.set_thermal(0, 39.5)
+        for cpu in (1, 2, 3, 9, 10, 11):
+            smt.set_thermal(cpu, 19.0)  # node 0 packages sum 38: not cool enough
+        for cpu in (4, 12):
+            smt.set_thermal(cpu, 2.0)
+        for cpu in (5, 6, 7, 13, 14, 15):
+            smt.set_thermal(cpu, 15.0)
+        assert make_migrator(smt).check(0)
+        assert task.cpu in (4, 12)

@@ -1,0 +1,118 @@
+"""Unit tests for initial task placement (paper §4.6)."""
+
+import pytest
+
+from repro.core.placement import InitialPlacement, PlacementConfig
+from repro.cpu.topology import MachineSpec
+from tests.conftest import Harness, make_task
+
+
+def make_placement(harness: Harness, **kwargs) -> InitialPlacement:
+    config = PlacementConfig(**kwargs) if kwargs else None
+    return InitialPlacement(harness.metrics, harness.runqueues, config)
+
+
+@pytest.fixture
+def smp4():
+    return Harness(MachineSpec.smp(4), max_power_w=60.0)
+
+
+class TestInodeTable:
+    def test_default_for_unknown_binary(self, smp4):
+        placement = make_placement(smp4, default_power_w=45.0)
+        assert placement.initial_power_for(inode=9999) == 45.0
+
+    def test_records_first_timeslice(self, smp4):
+        placement = make_placement(smp4)
+        task = make_task(inode=1234)
+        placement.record_first_timeslice(task, 58.0)
+        assert placement.initial_power_for(1234) == 58.0
+        assert placement.known_binaries == 1
+
+    def test_same_binary_overwrites(self, smp4):
+        placement = make_placement(smp4)
+        placement.record_first_timeslice(make_task(inode=7), 58.0)
+        placement.record_first_timeslice(make_task(inode=7), 30.0)
+        assert placement.initial_power_for(7) == 30.0
+        assert placement.known_binaries == 1
+
+    def test_rejects_negative_power(self, smp4):
+        with pytest.raises(ValueError):
+            make_placement(smp4).record_first_timeslice(make_task(), -1.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PlacementConfig(default_power_w=-5.0)
+
+
+class TestPlacementDecision:
+    def test_only_least_loaded_cpus_eligible(self, smp4):
+        """No load imbalance: a longer queue is never chosen even if it
+        would balance power better."""
+        smp4.add_task(0, 45.0)
+        smp4.add_task(1, 45.0)
+        smp4.add_task(2, 45.0)
+        # CPU 3 idle: the only eligible CPU.
+        placement = make_placement(smp4)
+        task = make_task(power_w=45.0)
+        assert placement.place(task) == 3
+
+    def test_hot_task_to_coolest_queue(self, smp4):
+        """Hot tasks land where the would-be ratio best matches the
+        system average — i.e. on the coolest queue."""
+        smp4.add_task(0, 60.0)
+        smp4.add_task(1, 45.0)
+        smp4.add_task(2, 30.0)
+        smp4.add_task(3, 45.0)
+        placement = make_placement(smp4)
+        hot = make_task(power_w=60.0)
+        hot.profile.record(60.0 * 0.1, 0.1)  # sampled profile, not table
+        assert placement.place(hot) == 2
+
+    def test_cool_task_to_hottest_queue(self, smp4):
+        smp4.add_task(0, 60.0)
+        smp4.add_task(1, 45.0)
+        smp4.add_task(2, 30.0)
+        smp4.add_task(3, 45.0)
+        placement = make_placement(smp4)
+        cool = make_task(power_w=30.0)
+        cool.profile.record(30.0 * 0.1, 0.1)
+        assert placement.place(cool) == 0
+
+    def test_uses_inode_table_for_new_tasks(self, smp4):
+        smp4.add_task(0, 60.0)
+        smp4.add_task(1, 45.0)
+        smp4.add_task(2, 30.0)
+        smp4.add_task(3, 45.0)
+        placement = make_placement(smp4)
+        seen = make_task(inode=55)
+        placement.record_first_timeslice(seen, 60.0)
+        # New task, same binary, profile not yet sampled -> hash table
+        # predicts 60 W -> goes to the coolest queue.
+        fresh = make_task(inode=55, power_w=None)
+        fresh.profile = None
+        from repro.core.profile import EnergyProfile, ProfileConfig
+
+        fresh.profile = EnergyProfile(ProfileConfig())
+        assert placement.place(fresh) == 2
+
+    def test_experienced_task_uses_own_profile(self, smp4):
+        smp4.add_task(0, 60.0)
+        smp4.add_task(1, 45.0)
+        smp4.add_task(2, 30.0)
+        smp4.add_task(3, 45.0)
+        placement = make_placement(smp4)
+        placement.record_first_timeslice(make_task(inode=55), 60.0)
+        veteran = make_task(inode=55, power_w=30.0)
+        veteran.profile.record(30.0 * 0.1, 0.1)  # has samples
+        # Own profile (30 W) wins over the table (60 W): hottest queue.
+        assert placement.place(veteran) == 0
+
+    def test_tie_breaks_to_lowest_cpu(self, smp4):
+        placement = make_placement(smp4)
+        assert placement.place(make_task(power_w=45.0)) == 0
+
+    def test_empty_system_any_cpu(self, smp4):
+        placement = make_placement(smp4)
+        cpu = placement.place(make_task(power_w=50.0))
+        assert cpu in range(4)

@@ -1,0 +1,66 @@
+"""Unit tests for task energy profiles (paper §3.3)."""
+
+import pytest
+
+from repro.core.profile import EnergyProfile, ProfileConfig
+
+
+class TestProfileConfig:
+    def test_defaults(self):
+        config = ProfileConfig()
+        assert config.timeslice_s == pytest.approx(0.1)
+        assert 0 < config.weight_p < 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(timeslice_s=0), dict(weight_p=0.0), dict(weight_p=1.0),
+         dict(default_power_w=-1.0)],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ProfileConfig(**kwargs)
+
+
+class TestEnergyProfile:
+    def test_unprimed_profile_adopts_first_sample(self):
+        profile = EnergyProfile(ProfileConfig())
+        profile.record(energy_j=5.0, period_s=0.1)  # 50 W
+        assert profile.power_w == pytest.approx(50.0)
+
+    def test_primed_profile_blends(self):
+        profile = EnergyProfile(ProfileConfig(weight_p=0.25), initial_power_w=40.0)
+        profile.record(energy_j=6.0, period_s=0.1)  # 60 W sample
+        assert profile.power_w == pytest.approx(45.0)
+
+    def test_power_is_energy_over_period(self):
+        profile = EnergyProfile(ProfileConfig())
+        profile.record(energy_j=3.0, period_s=0.05)
+        assert profile.power_w == pytest.approx(60.0)
+
+    def test_sample_counter(self):
+        profile = EnergyProfile(ProfileConfig())
+        for _ in range(5):
+            profile.record(1.0, 0.1)
+        assert profile.samples == 5
+
+    def test_rejects_negative_energy(self):
+        with pytest.raises(ValueError):
+            EnergyProfile(ProfileConfig()).record(-1.0, 0.1)
+
+    def test_partial_timeslice_changes_profile_less(self):
+        """Blocking mid-timeslice gives the sample less weight (§3.3)."""
+        full = EnergyProfile(ProfileConfig(weight_p=0.25), initial_power_w=40.0)
+        partial = EnergyProfile(ProfileConfig(weight_p=0.25), initial_power_w=40.0)
+        full.record(60.0 * 0.1, 0.1)     # full timeslice at 60 W
+        partial.record(60.0 * 0.02, 0.02)  # 20 ms at 60 W
+        assert abs(partial.power_w - 40.0) < abs(full.power_w - 40.0)
+
+    def test_convergence_to_stable_power(self):
+        profile = EnergyProfile(ProfileConfig(), initial_power_w=45.0)
+        for _ in range(100):
+            profile.record(61.0 * 0.1, 0.1)
+        assert profile.power_w == pytest.approx(61.0, abs=0.01)
+
+    def test_repr(self):
+        profile = EnergyProfile(ProfileConfig(), initial_power_w=47.0)
+        assert "47.0" in repr(profile)

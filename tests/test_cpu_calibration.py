@@ -1,0 +1,159 @@
+"""Unit tests for thermal-model calibration (paper §4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.calibration import (
+    CalibrationResult,
+    OnlineThermalCalibrator,
+    calibrate_from_step,
+)
+from repro.cpu.thermal import ThermalDiode, ThermalParams, ThermalRC
+
+
+TRUE = ThermalParams(r_k_per_w=0.32, c_j_per_k=62.5, ambient_c=25.0)  # tau 20 s
+
+
+def synthesize_step(power_w=60.0, duration_s=120.0, dt=0.5, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    rc = ThermalRC(TRUE)
+    times = np.arange(0, duration_s, dt)
+    temps = np.array([rc.step(power_w, dt) for _ in times])
+    if noise:
+        temps = temps + rng.normal(0, noise, len(temps))
+    return times, temps
+
+
+class TestOfflineStepCalibration:
+    def test_recovers_parameters_from_clean_step(self):
+        times, temps = synthesize_step()
+        result = calibrate_from_step(times, temps, power_w=60.0, ambient_c=25.0)
+        assert result.params.r_k_per_w == pytest.approx(TRUE.r_k_per_w, rel=0.03)
+        assert result.params.tau_s == pytest.approx(TRUE.tau_s, rel=0.05)
+
+    def test_survives_measurement_noise(self):
+        times, temps = synthesize_step(noise=0.3, seed=1)
+        result = calibrate_from_step(times, temps, power_w=60.0, ambient_c=25.0)
+        assert result.params.r_k_per_w == pytest.approx(TRUE.r_k_per_w, rel=0.08)
+        assert result.residual_rms_k < 0.5
+
+    def test_rejects_non_positive_power(self):
+        times, temps = synthesize_step()
+        with pytest.raises(ValueError):
+            calibrate_from_step(times, temps, power_w=0.0)
+
+    def test_rejects_cooling_trace(self):
+        # A trace that ends *below* ambient cannot come from a heat step.
+        times = np.linspace(0, 100, 50)
+        temps = 25.0 - 5.0 * (1 - np.exp(-times / 20.0))
+        with pytest.raises(ValueError, match="not above ambient"):
+            calibrate_from_step(times, temps, power_w=60.0, ambient_c=25.0)
+
+
+class TestOnlineCalibrator:
+    def _feed(self, calibrator, powers, dt=0.5, diode=None, seed=0):
+        rc = ThermalRC(TRUE)
+        for p in powers:
+            temp = rc.step(p, dt)
+            reading = diode.read(temp) if diode else temp
+            calibrator.observe(reading, p)
+
+    def test_recovers_parameters_from_varying_load(self):
+        cal = OnlineThermalCalibrator(dt_s=0.5, window=600)
+        rng = np.random.default_rng(2)
+        powers = np.repeat(rng.uniform(15.0, 60.0, 20), 25)  # 20 load phases
+        self._feed(cal, powers)
+        assert cal.ready()
+        result = cal.fit()
+        assert result.params.r_k_per_w == pytest.approx(TRUE.r_k_per_w, rel=0.05)
+        assert result.params.tau_s == pytest.approx(TRUE.tau_s, rel=0.10)
+        assert result.params.ambient_c == pytest.approx(25.0, abs=1.0)
+
+    def test_tolerates_diode_quantisation(self):
+        """§3.1: the diode is coarse — but over many samples the online
+        fit still identifies the model well enough for scheduling."""
+        cal = OnlineThermalCalibrator(dt_s=0.5, window=1200)
+        rng = np.random.default_rng(3)
+        powers = np.repeat(rng.uniform(15.0, 60.0, 40), 25)
+        self._feed(cal, powers, diode=ThermalDiode(resolution_c=0.5))
+        result = cal.fit()
+        assert result.params.r_k_per_w == pytest.approx(TRUE.r_k_per_w, rel=0.20)
+
+    def test_detects_cooling_change(self):
+        """The paper's motivation: a fan turning off changes R; the
+        windowed fit follows."""
+        degraded = ThermalParams(r_k_per_w=0.45, c_j_per_k=TRUE.c_j_per_k,
+                                 ambient_c=25.0)
+        cal = OnlineThermalCalibrator(dt_s=0.5, window=1000)
+        rng = np.random.default_rng(4)
+        rc = ThermalRC(degraded)
+        for p in np.repeat(rng.uniform(15.0, 60.0, 40), 25):
+            cal.observe(rc.step(p, 0.5), p)
+        result = cal.fit()
+        # Clearly distinguishes the degraded sink (0.45) from the
+        # healthy one (0.32).
+        assert result.params.r_k_per_w == pytest.approx(0.45, rel=0.10)
+        assert result.params.r_k_per_w > 0.40
+
+    def test_not_ready_without_thermal_movement(self):
+        cal = OnlineThermalCalibrator(dt_s=0.5, window=200, min_temp_span_k=2.0)
+        rc = ThermalRC(TRUE, initial_c=TRUE.steady_state_c(40.0))
+        for _ in range(150):
+            cal.observe(rc.step(40.0, 0.5), 40.0)  # steady state: no info
+        assert not cal.ready()
+        with pytest.raises(ValueError, match="movement"):
+            cal.fit()
+
+    def test_not_ready_with_few_samples(self):
+        cal = OnlineThermalCalibrator(dt_s=0.5, window=200)
+        cal.observe(25.0, 20.0)
+        cal.observe(40.0, 60.0)
+        assert not cal.ready()
+
+    def test_window_slides(self):
+        cal = OnlineThermalCalibrator(dt_s=0.5, window=50)
+        for i in range(120):
+            cal.observe(25.0 + i * 0.1, 30.0)
+        assert cal.n_samples == 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineThermalCalibrator(dt_s=0.0)
+        with pytest.raises(ValueError):
+            OnlineThermalCalibrator(dt_s=0.5, window=5)
+        with pytest.raises(ValueError):
+            OnlineThermalCalibrator(dt_s=0.5, min_temp_span_k=0.0)
+
+
+class TestEndToEndCalibration:
+    def test_calibrate_from_simulated_traces(self):
+        """Full pipeline: run the simulator, feed the calibrator the
+        diode + estimated-power traces it records, recover the thermal
+        parameters the system was configured with."""
+        from repro.api import run_simulation
+        from repro.config import SystemConfig
+        from repro.cpu.topology import MachineSpec
+        from repro.workloads.generator import single_program_workload
+
+        params = ThermalParams(r_k_per_w=0.30, c_j_per_k=66.7, ambient_c=25.0)
+        config = SystemConfig(
+            machine=MachineSpec.smp(2),
+            max_power_per_cpu_w=200.0,  # no hot migration: clean heat step
+            thermal=params,
+            seed=31,
+            sample_interval_s=0.5,
+        )
+        result = run_simulation(
+            config, single_program_workload("openssl", 1),
+            policy="baseline", duration_s=240,
+        )
+        task_cpu = result.system.live_tasks()[0].cpu
+        diode = result.tracer.get_series(f"diode.pkg{task_cpu}")
+        power = result.tracer.get_series(f"est_power.pkg{task_cpu}")
+        cal = OnlineThermalCalibrator(dt_s=0.5, window=480)
+        for temp, watts in zip(diode.values, power.values):
+            cal.observe(temp, watts)
+        fitted = cal.fit()
+        assert isinstance(fitted, CalibrationResult)
+        assert fitted.params.r_k_per_w == pytest.approx(0.30, rel=0.25)
+        assert fitted.params.tau_s == pytest.approx(20.0, rel=0.35)

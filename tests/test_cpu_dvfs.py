@@ -1,0 +1,142 @@
+"""Unit tests for the DVFS comparator substrate."""
+
+import pytest
+
+from repro.api import run_simulation
+from repro.config import SystemConfig
+from repro.cpu.dvfs import DvfsConfig, DvfsController, dynamic_power_scale
+from repro.cpu.thermal import ThermalParams
+from repro.cpu.throttle import ThrottleConfig
+from repro.cpu.topology import MachineSpec
+from repro.workloads.generator import single_program_workload
+
+
+class TestDvfsConfig:
+    def test_defaults_valid(self):
+        config = DvfsConfig()
+        assert config.levels[0] == 1.0
+        assert min(config.levels) > 0
+
+    @pytest.mark.parametrize(
+        "levels",
+        [(), (0.9, 0.8), (1.0, 0.8, 0.9), (1.0, 0.0), (1.0, 1.0)],
+    )
+    def test_rejects_bad_ladders(self, levels):
+        with pytest.raises(ValueError):
+            DvfsConfig(levels=levels)
+
+    def test_rejects_bad_margin(self):
+        with pytest.raises(ValueError):
+            DvfsConfig(step_up_margin_w=0.0)
+
+
+class TestScalingLaws:
+    def test_cubic_dynamic_power(self):
+        assert dynamic_power_scale(1.0) == 1.0
+        assert dynamic_power_scale(0.5) == pytest.approx(0.125)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            dynamic_power_scale(0.0)
+        with pytest.raises(ValueError):
+            dynamic_power_scale(1.5)
+
+    def test_dvfs_beats_hlt_per_watt(self):
+        """At equal power reduction, DVFS retains more speed than
+        duty-cycling — the whole point of voltage scaling."""
+        scale = 0.7
+        dvfs_power = dynamic_power_scale(scale)     # 34 % power, 70 % speed
+        hlt_duty_for_same_power = dvfs_power        # linear in duty
+        assert scale > hlt_duty_for_same_power
+
+
+class TestDvfsController:
+    def test_starts_at_full_speed(self):
+        assert DvfsController(1).scale(0) == 1.0
+
+    def test_steps_down_above_limit(self):
+        ctl = DvfsController(1)
+        assert ctl.update(0, thermal_power_w=45.0, limit_w=40.0) == 0.9
+        assert ctl.update(0, 45.0, 40.0) == 0.8
+
+    def test_saturates_at_lowest_level(self):
+        ctl = DvfsController(1)
+        for _ in range(20):
+            scale = ctl.update(0, 100.0, 40.0)
+        assert scale == 0.5
+
+    def test_steps_up_with_headroom(self):
+        ctl = DvfsController(1, DvfsConfig(step_up_margin_w=2.0))
+        ctl.update(0, 45.0, 40.0)
+        assert ctl.scale(0) == 0.9
+        assert ctl.update(0, 30.0, 40.0) == 1.0
+
+    def test_holds_within_hysteresis_band(self):
+        ctl = DvfsController(1, DvfsConfig(step_up_margin_w=2.0))
+        ctl.update(0, 45.0, 40.0)
+        assert ctl.update(0, 39.0, 40.0) == 0.9  # inside the band
+
+    def test_scaled_fraction_accounting(self):
+        ctl = DvfsController(1)
+        for _ in range(5):
+            ctl.update(0, 45.0, 40.0)   # steps down to 0.5: 5 scaled ticks
+        for _ in range(15):
+            ctl.update(0, 10.0, 40.0)   # climbs back: 4 more scaled ticks
+        assert ctl.scaled_fraction(0) == pytest.approx(9 / 20)
+
+    def test_cpus_independent(self):
+        ctl = DvfsController(2)
+        ctl.update(0, 50.0, 40.0)
+        ctl.update(1, 10.0, 40.0)
+        assert ctl.scale(0) == 0.9
+        assert ctl.scale(1) == 1.0
+
+    def test_rejects_zero_cpus(self):
+        with pytest.raises(ValueError):
+            DvfsController(0)
+
+    def test_throttle_config_mode_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            ThrottleConfig(mode="turbo")
+
+
+class TestDvfsIntegration:
+    def _run(self, mode: str, policy: str = "baseline"):
+        config = SystemConfig(
+            machine=MachineSpec.ibm_x445(smt=True),
+            max_power_per_cpu_w=20.0,
+            thermal=ThermalParams(r_k_per_w=0.30, c_j_per_k=50.0),
+            throttle=ThrottleConfig(enabled=True, scope="package", mode=mode),
+            seed=5,
+        )
+        return run_simulation(
+            config, single_program_workload("bitcnts", 1),
+            policy=policy, duration_s=200,
+        )
+
+    def test_dvfs_holds_thermal_power_at_limit(self):
+        result = self._run("dvfs")
+        task_cpu = result.system.live_tasks()[0].cpu
+        # The package sum settles around the 40 W budget.
+        total = result.system.metrics.package_thermal_sum_w(task_cpu)
+        assert total == pytest.approx(40.0, abs=3.0)
+
+    def test_dvfs_outperforms_hlt(self):
+        """Cubic power scaling keeps more speed per watt shed."""
+        hlt = self._run("hlt")
+        dvfs = self._run("dvfs")
+        assert dvfs.fractional_jobs() > hlt.fractional_jobs() * 1.2
+        assert dvfs.dvfs_scaled_fraction(
+            dvfs.system.live_tasks()[0].cpu
+        ) > 0.3
+
+    def test_migration_outperforms_dvfs(self):
+        """The paper's bet: with cool CPUs available, moving the task
+        beats any form of slowing it down."""
+        dvfs = self._run("dvfs")
+        migration = self._run("hlt", policy="energy")
+        assert migration.fractional_jobs() > dvfs.fractional_jobs() * 1.1
+
+    def test_estimation_stays_accurate_under_dvfs(self):
+        result = self._run("dvfs")
+        assert result.estimation_error() < 0.10

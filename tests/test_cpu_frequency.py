@@ -1,0 +1,48 @@
+"""Unit tests for the execution model (cycles, IPC, SMT contention)."""
+
+import pytest
+
+from repro.cpu.frequency import ExecutionModel
+
+
+class TestExecutionModel:
+    def test_full_cycles_without_sibling(self):
+        model = ExecutionModel(freq_hz=2.2e9)
+        assert model.effective_cycles(0.01, sibling_busy=False) == pytest.approx(2.2e7)
+
+    def test_smt_contention_reduces_per_thread_cycles(self):
+        model = ExecutionModel(freq_hz=2.0e9, smt_thread_factor=0.62)
+        solo = model.effective_cycles(0.01, False)
+        shared = model.effective_cycles(0.01, True)
+        assert shared == pytest.approx(solo * 0.62)
+
+    def test_smt_pair_total_exceeds_single_thread(self):
+        """Hyper-Threading helps: two contended threads out-retire one."""
+        model = ExecutionModel(smt_thread_factor=0.62)
+        solo = model.effective_cycles(0.01, False)
+        pair_total = 2 * model.effective_cycles(0.01, True)
+        assert pair_total > solo
+
+    def test_instructions_scale_with_ipc(self):
+        model = ExecutionModel()
+        assert model.instructions(1000.0, ipc=1.5) == pytest.approx(1500.0)
+
+    def test_zero_dt_zero_cycles(self):
+        assert ExecutionModel().effective_cycles(0.0, False) == 0.0
+
+    def test_rejects_negative_dt(self):
+        with pytest.raises(ValueError):
+            ExecutionModel().effective_cycles(-0.01, False)
+
+    def test_rejects_non_positive_ipc(self):
+        with pytest.raises(ValueError):
+            ExecutionModel().instructions(100.0, ipc=0.0)
+
+    @pytest.mark.parametrize("factor", [0.0, -0.1, 1.5])
+    def test_rejects_bad_smt_factor(self, factor):
+        with pytest.raises(ValueError):
+            ExecutionModel(smt_thread_factor=factor)
+
+    def test_rejects_non_positive_frequency(self):
+        with pytest.raises(ValueError):
+            ExecutionModel(freq_hz=0.0)

@@ -1,0 +1,126 @@
+"""Unit tests for event monitoring counter banks."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.cpu.events import EVENT_LIST, N_EVENTS, HwEvent
+from repro.cpu.pmc import CounterBank
+
+
+class TestEventDefinitions:
+    def test_events_are_contiguous_indices(self):
+        assert [int(e) for e in EVENT_LIST] == list(range(N_EVENTS))
+
+    def test_event_names_stable(self):
+        assert HwEvent.UOPS_RETIRED == 0
+        assert HwEvent.L2_MISSES in EVENT_LIST
+
+
+class TestCounterBank:
+    def _bank(self, jitter=0.0, seed=0):
+        return CounterBank(0, random.Random(seed), jitter_sigma=jitter)
+
+    def test_starts_at_zero(self):
+        bank = self._bank()
+        np.testing.assert_allclose(bank.raw, 0.0)
+
+    def test_account_accumulates_rates_times_cycles(self):
+        bank = self._bank()
+        rates = np.arange(N_EVENTS, dtype=float)
+        bank.account(rates, 100.0)
+        np.testing.assert_allclose(bank.raw, rates * 100.0)
+
+    def test_counts_are_monotonic(self):
+        bank = self._bank(jitter=0.05, seed=3)
+        rates = np.full(N_EVENTS, 0.5)
+        prev = bank.snapshot()
+        for _ in range(50):
+            bank.account(rates, 1000.0)
+            cur = bank.snapshot()
+            assert np.all(cur.delta_since(prev) >= 0)
+            prev = cur
+
+    def test_snapshot_delta(self):
+        bank = self._bank()
+        rates = np.ones(N_EVENTS)
+        before = bank.snapshot()
+        bank.account(rates, 10.0)
+        bank.account(rates, 5.0)
+        after = bank.snapshot()
+        np.testing.assert_allclose(after.delta_since(before), 15.0)
+
+    def test_snapshot_is_immutable_copy(self):
+        bank = self._bank()
+        snap = bank.snapshot()
+        bank.account(np.ones(N_EVENTS), 10.0)
+        np.testing.assert_allclose(snap.values, 0.0)
+
+    def test_account_returns_increments(self):
+        bank = self._bank()
+        increments = bank.account(np.ones(N_EVENTS), 7.0)
+        np.testing.assert_allclose(increments, 7.0)
+
+    def test_jitter_perturbs_but_preserves_mean(self):
+        bank = self._bank(jitter=0.02, seed=1)
+        rates = np.ones(N_EVENTS)
+        increments = [bank.account(rates, 1000.0)[0] for _ in range(500)]
+        assert np.std(increments) > 0
+        assert np.mean(increments) == pytest.approx(1000.0, rel=0.01)
+
+    def test_zero_cycles_is_noop(self):
+        bank = self._bank(jitter=0.1)
+        increments = bank.account(np.ones(N_EVENTS), 0.0)
+        np.testing.assert_allclose(increments, 0.0)
+        np.testing.assert_allclose(bank.raw, 0.0)
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            self._bank().account(np.ones(N_EVENTS), -1.0)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            CounterBank(0, random.Random(0), jitter_sigma=-0.1)
+
+    def test_raw_view_is_read_only(self):
+        bank = self._bank()
+        with pytest.raises(ValueError):
+            bank.raw[0] = 5.0
+
+
+class TestCounterWraparound:
+    """The P4's counters are 40 bits wide and wrap every few minutes;
+    delta computation must survive a wrap."""
+
+    def test_delta_across_single_wrap(self):
+        bank = CounterBank(0, random.Random(0), jitter_sigma=0.0, counter_bits=16)
+        rates = np.ones(N_EVENTS)
+        bank.account(rates, 2**16 - 100.0)  # near the top
+        before = bank.snapshot()
+        bank.account(rates, 300.0)          # wraps
+        after = bank.snapshot()
+        np.testing.assert_allclose(after.delta_since(before), 300.0)
+
+    def test_register_value_stays_in_range(self):
+        bank = CounterBank(0, random.Random(0), jitter_sigma=0.0, counter_bits=16)
+        bank.account(np.ones(N_EVENTS), 5.0 * 2**16)
+        assert np.all(bank.raw < 2**16)
+        assert np.all(bank.raw >= 0)
+
+    def test_wrap_happens_within_realistic_run(self):
+        """At realistic rates a 40-bit counter wraps in minutes — the
+        estimator sees wraps during the paper's 15-minute runs."""
+        events_per_s = 1.8 * 2.2e9  # µops of a busy CPU
+        wrap_period_s = 2**40 / events_per_s
+        assert wrap_period_s < 900
+
+    def test_mismatched_widths_rejected(self):
+        a = CounterBank(0, random.Random(0), counter_bits=16).snapshot()
+        b = CounterBank(0, random.Random(0), counter_bits=24).snapshot()
+        with pytest.raises(ValueError, match="widths"):
+            b.delta_since(a)
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ValueError):
+            CounterBank(0, random.Random(0), counter_bits=4)

@@ -1,0 +1,127 @@
+"""Unit tests for the RC thermal model (paper §4.2)."""
+
+import math
+
+import pytest
+
+from repro.cpu.thermal import ThermalDiode, ThermalParams, ThermalRC
+
+
+class TestThermalParams:
+    def test_tau_is_r_times_c(self):
+        params = ThermalParams(r_k_per_w=0.3, c_j_per_k=100.0)
+        assert params.tau_s == pytest.approx(30.0)
+
+    def test_steady_state(self):
+        params = ThermalParams(r_k_per_w=0.3, ambient_c=25.0)
+        assert params.steady_state_c(50.0) == pytest.approx(40.0)
+
+    def test_power_for_temperature_inverts_steady_state(self):
+        params = ThermalParams(r_k_per_w=0.25, ambient_c=20.0)
+        temp = params.steady_state_c(44.0)
+        assert params.power_for_temperature(temp) == pytest.approx(44.0)
+
+    def test_with_tau_preserves_resistance(self):
+        params = ThermalParams(r_k_per_w=0.3).with_tau(15.0)
+        assert params.tau_s == pytest.approx(15.0)
+        assert params.r_k_per_w == 0.3
+
+    @pytest.mark.parametrize("kwargs", [dict(r_k_per_w=0), dict(c_j_per_k=-1)])
+    def test_rejects_non_positive(self, kwargs):
+        with pytest.raises(ValueError):
+            ThermalParams(**kwargs)
+
+    def test_with_tau_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ThermalParams().with_tau(0)
+
+
+class TestThermalRC:
+    def test_starts_at_ambient_by_default(self):
+        params = ThermalParams(ambient_c=22.0)
+        assert ThermalRC(params).temperature_c == 22.0
+
+    def test_converges_to_steady_state(self):
+        params = ThermalParams(r_k_per_w=0.3, c_j_per_k=50.0, ambient_c=25.0)
+        rc = ThermalRC(params)
+        for _ in range(10_000):
+            rc.step(50.0, 0.1)
+        assert rc.temperature_c == pytest.approx(params.steady_state_c(50.0), abs=1e-6)
+
+    def test_exponential_step_response(self):
+        """After one time constant the gap closes by 1 - 1/e."""
+        params = ThermalParams(r_k_per_w=0.3, c_j_per_k=100.0, ambient_c=25.0)
+        rc = ThermalRC(params)
+        target = params.steady_state_c(40.0)
+        rc.step(40.0, params.tau_s)
+        expected = target + (25.0 - target) * math.exp(-1.0)
+        assert rc.temperature_c == pytest.approx(expected)
+
+    def test_exact_integration_is_step_size_independent(self):
+        params = ThermalParams(r_k_per_w=0.3, c_j_per_k=60.0)
+        coarse = ThermalRC(params)
+        fine = ThermalRC(params)
+        coarse.step(55.0, 10.0)
+        for _ in range(1000):
+            fine.step(55.0, 0.01)
+        assert coarse.temperature_c == pytest.approx(fine.temperature_c, abs=1e-9)
+
+    def test_cooling_from_hot_start(self):
+        params = ThermalParams(ambient_c=25.0)
+        rc = ThermalRC(params, initial_c=60.0)
+        rc.step(0.0, 1e6)
+        assert rc.temperature_c == pytest.approx(25.0, abs=1e-6)
+
+    def test_zero_dt_is_identity(self):
+        rc = ThermalRC(ThermalParams(), initial_c=33.0)
+        rc.step(100.0, 0.0)
+        assert rc.temperature_c == 33.0
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ValueError):
+            ThermalRC(ThermalParams()).step(10.0, -0.1)
+
+    def test_reset(self):
+        rc = ThermalRC(ThermalParams(ambient_c=25.0), initial_c=50.0)
+        rc.reset()
+        assert rc.temperature_c == 25.0
+        rc.reset(42.0)
+        assert rc.temperature_c == 42.0
+
+    def test_higher_resistance_runs_hotter(self):
+        """Heterogeneous cooling: worse heat sink, higher steady temp."""
+        good = ThermalRC(ThermalParams(r_k_per_w=0.2))
+        poor = ThermalRC(ThermalParams(r_k_per_w=0.4))
+        for _ in range(5000):
+            good.step(50.0, 0.1)
+            poor.step(50.0, 0.1)
+        assert poor.temperature_c > good.temperature_c + 5.0
+
+
+class TestThermalDiode:
+    def test_quantisation_floors(self):
+        diode = ThermalDiode(resolution_c=1.0)
+        assert diode.read(38.9) == 38.0
+
+    def test_finer_resolution(self):
+        diode = ThermalDiode(resolution_c=0.5)
+        assert diode.read(38.75) == 38.5
+
+    def test_timeslice_energy_invisible_to_diode(self):
+        """§3.1: energy of one timeslice is orders of magnitude below
+        the diode's resolution, so temperature cannot attribute energy
+        per timeslice."""
+        params = ThermalParams(r_k_per_w=0.3, c_j_per_k=66.7)
+        rc = ThermalRC(params, initial_c=40.0)
+        diode = ThermalDiode(resolution_c=1.0)
+        before = diode.read(rc.temperature_c)
+        # One 100 ms timeslice of a hot (60 W) task.
+        rc.step(60.0, 0.1)
+        after = diode.read(rc.temperature_c)
+        assert before == after
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ThermalDiode(resolution_c=0)
+        with pytest.raises(ValueError):
+            ThermalDiode(read_latency_ms=-1)

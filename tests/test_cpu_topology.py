@@ -1,0 +1,114 @@
+"""Unit tests for CPU topology and the paper's CPU numbering."""
+
+import pytest
+
+from repro.cpu.topology import CpuInfo, MachineSpec, Topology
+
+
+class TestMachineSpec:
+    def test_x445_counts(self):
+        spec = MachineSpec.ibm_x445()
+        assert spec.n_packages == 8
+        assert spec.n_cores == 8
+        assert spec.n_cpus == 16
+        assert spec.smt_enabled
+
+    def test_x445_smt_off(self):
+        spec = MachineSpec.ibm_x445(smt=False)
+        assert spec.n_cpus == 8
+        assert not spec.smt_enabled
+
+    def test_smp_preset(self):
+        spec = MachineSpec.smp(4)
+        assert spec.nodes == 1
+        assert spec.n_cpus == 4
+
+    def test_cmp_preset_counts(self):
+        spec = MachineSpec.cmp(packages=2, cores=2)
+        assert spec.n_packages == 2
+        assert spec.n_cores == 4
+        assert spec.n_cpus == 4
+
+    def test_cmp_with_smt(self):
+        spec = MachineSpec.cmp(packages=2, cores=2, smt=True)
+        assert spec.n_cpus == 8
+
+    @pytest.mark.parametrize(
+        "kwargs", [dict(nodes=0), dict(packages_per_node=0),
+                   dict(cores_per_package=0), dict(threads_per_core=0)]
+    )
+    def test_rejects_zero_counts(self, kwargs):
+        with pytest.raises(ValueError):
+            MachineSpec(**kwargs)
+
+    def test_rejects_non_positive_frequency(self):
+        with pytest.raises(ValueError):
+            MachineSpec(freq_hz=0)
+
+
+class TestPaperNumbering:
+    """The paper: 'CPU IDs of two sibling CPUs differ in the most
+    significant bit.  CPU 0 is the sibling of CPU 8... CPUs 0 to 3 (with
+    their siblings 8 to 11) reside on node 0, whereas CPUs 4 to 7 (with
+    their siblings 12 to 15) reside on node 1.'"""
+
+    @pytest.fixture
+    def topo(self):
+        return Topology(MachineSpec.ibm_x445(smt=True))
+
+    def test_sibling_pairs_differ_by_eight(self, topo):
+        for cpu in range(8):
+            assert topo.siblings_of(cpu) == (cpu + 8,)
+            assert topo.siblings_of(cpu + 8) == (cpu,)
+
+    def test_node_membership(self, topo):
+        assert topo.cpus_of_node(0) == [0, 1, 2, 3, 8, 9, 10, 11]
+        assert topo.cpus_of_node(1) == [4, 5, 6, 7, 12, 13, 14, 15]
+
+    def test_siblings_share_package(self, topo):
+        for cpu in range(8):
+            assert topo.package_of(cpu) == topo.package_of(cpu + 8)
+
+    def test_packages_have_two_threads(self, topo):
+        for pkg in range(8):
+            assert len(topo.cpus_of_package(pkg)) == 2
+
+    def test_cpu_ids_are_dense(self, topo):
+        assert [c.cpu_id for c in topo.cpus] == list(range(16))
+
+
+class TestTopologyLookups:
+    def test_len(self):
+        assert len(Topology(MachineSpec.smp(6))) == 6
+
+    def test_no_siblings_without_smt(self):
+        topo = Topology(MachineSpec.ibm_x445(smt=False))
+        for cpu in range(8):
+            assert topo.siblings_of(cpu) == ()
+            assert not topo.cpu(cpu).has_smt_sibling
+
+    def test_cpu_info_fields(self):
+        topo = Topology(MachineSpec.ibm_x445(smt=True))
+        info = topo.cpu(9)
+        assert isinstance(info, CpuInfo)
+        assert info.node == 0
+        assert info.package == 1
+        assert info.thread == 1
+        assert info.siblings == (1,)
+
+    def test_cmp_cores_within_package(self):
+        topo = Topology(MachineSpec.cmp(packages=2, cores=2))
+        assert topo.cpus_of_package(0) == [0, 1]
+        assert topo.cpus_of_package(1) == [2, 3]
+        assert topo.cpus_of_core(0) == [0]
+
+    def test_cmp_smt_sibling_shares_core_not_package_wide(self):
+        topo = Topology(MachineSpec.cmp(packages=1, cores=2, smt=True))
+        # 4 logical CPUs, 2 cores; siblings are per core.
+        assert len(topo) == 4
+        for cpu in range(4):
+            assert len(topo.siblings_of(cpu)) == 1
+
+    def test_repr_mentions_counts(self):
+        text = repr(Topology(MachineSpec.ibm_x445()))
+        assert "16 logical" in text

@@ -1,0 +1,147 @@
+"""Interaction tests: orthogonal features combined in one system."""
+
+import pytest
+
+from repro.api import run_simulation
+from repro.config import SystemConfig
+from repro.cpu.thermal import ThermalParams
+from repro.cpu.throttle import ThrottleConfig
+from repro.cpu.topology import MachineSpec
+from repro.workloads.generator import TaskSpec, WorkloadSpec
+from repro.workloads.programs import program
+from repro.workloads.traces import PowerTrace
+
+
+class TestContainersWithDvfs:
+    def test_cap_and_dvfs_both_hold(self):
+        """A capped task on a DVFS-throttled machine: the tighter
+        constraint (the 30 W cap) governs its average power."""
+        config = SystemConfig(
+            machine=MachineSpec.smp(1),
+            max_power_per_cpu_w=45.0,
+            throttle=ThrottleConfig(enabled=True, mode="dvfs"),
+            seed=4,
+        )
+        wl = WorkloadSpec(
+            "capped-dvfs",
+            (TaskSpec(program=program("bitcnts"), power_cap_w=30.0),),
+        )
+        result = run_simulation(config, wl, policy="baseline", duration_s=90)
+        task = result.system.live_tasks()[0]
+        avg_power = task.total_energy_j / result.duration_s
+        assert avg_power == pytest.approx(30.0, rel=0.08)
+
+
+class TestContainersWithPriorities:
+    def test_high_priority_capped_task_still_bounded(self):
+        """nice -15 buys longer timeslices, not more energy."""
+        config = SystemConfig(
+            machine=MachineSpec.smp(1), max_power_per_cpu_w=100.0, seed=4
+        )
+        wl = WorkloadSpec(
+            "prio-cap",
+            (
+                TaskSpec(program=program("bitcnts"), power_cap_w=25.0, nice=-15),
+                TaskSpec(program=program("memrw"), nice=10),
+            ),
+        )
+        result = run_simulation(config, wl, policy="baseline", duration_s=90)
+        capped = next(t for t in result.system.live_tasks() if t.name == "bitcnts")
+        avg_power = capped.total_energy_j / result.duration_s
+        assert avg_power == pytest.approx(25.0, rel=0.10)
+
+
+class TestAffinityWithHotMigration:
+    def test_pinned_hot_task_throttles_while_free_one_tours(self):
+        config = SystemConfig(
+            machine=MachineSpec.smp(4),
+            max_power_per_cpu_w=40.0,
+            thermal=ThermalParams(r_k_per_w=0.30, c_j_per_k=50.0),
+            throttle=ThrottleConfig(enabled=True),
+            seed=4,
+        )
+        wl = WorkloadSpec(
+            "pin-vs-free",
+            (
+                TaskSpec(program=program("bitcnts"), cpus_allowed=(0,)),
+                TaskSpec(program=program("bitcnts")),
+            ),
+        )
+        result = run_simulation(config, wl, policy="energy", duration_s=120)
+        pinned = next(
+            t for t in result.system.live_tasks() if t.cpus_allowed is not None
+        )
+        free = next(
+            t for t in result.system.live_tasks() if t.cpus_allowed is None
+        )
+        assert pinned.migrations == 0
+        assert free.migrations >= 2
+        # The pinned CPU is the one paying the throttling bill.
+        assert result.throttle_fraction(0) > 0.15
+        assert free.total_busy_s > pinned.total_busy_s * 1.2
+
+
+class TestTraceTasksWithPolicies:
+    def test_trace_task_participates_in_energy_balancing(self):
+        hot_trace = PowerTrace.from_pairs([(30.0, 58.0)]).to_program(
+            "hotsvc", inode=9100
+        )
+        cool_trace = PowerTrace.from_pairs([(30.0, 30.0)]).to_program(
+            "coolsvc", inode=9101
+        )
+        config = SystemConfig(
+            machine=MachineSpec.smp(2), max_power_per_cpu_w=60.0, seed=4
+        )
+        wl = WorkloadSpec(
+            "traces",
+            (
+                TaskSpec(program=hot_trace),
+                TaskSpec(program=hot_trace),
+                TaskSpec(program=cool_trace),
+                TaskSpec(program=cool_trace),
+            ),
+        )
+        result = run_simulation(config, wl, policy="energy", duration_s=120)
+        # Energy balancing mixes hot and cool trace tasks per CPU.
+        ratios = [
+            result.system.metrics.runqueue_power_ratio(c) for c in range(2)
+        ]
+        assert abs(ratios[0] - ratios[1]) < 0.12
+
+    def test_trace_task_respects_container(self):
+        svc = PowerTrace.from_pairs([(10.0, 55.0)]).to_program("svc", 9102)
+        config = SystemConfig(
+            machine=MachineSpec.smp(1), max_power_per_cpu_w=100.0, seed=4
+        )
+        wl = WorkloadSpec(
+            "capped-trace", (TaskSpec(program=svc, power_cap_w=28.0),)
+        )
+        result = run_simulation(config, wl, policy="baseline", duration_s=60)
+        task = result.system.live_tasks()[0]
+        assert task.total_energy_j / 60.0 == pytest.approx(28.0, rel=0.08)
+
+
+class TestDvfsWithEnergyPolicy:
+    def test_migration_preempts_dvfs_slowdown(self):
+        """With cool CPUs available, the energy-aware policy moves the
+        task before the DVFS governor needs to slow it much."""
+        config = SystemConfig(
+            machine=MachineSpec.ibm_x445(smt=True),
+            max_power_per_cpu_w=20.0,
+            thermal=ThermalParams(r_k_per_w=0.30, c_j_per_k=50.0),
+            throttle=ThrottleConfig(enabled=True, scope="package", mode="dvfs"),
+            seed=5,
+        )
+        from repro.workloads.generator import single_program_workload
+
+        result = run_simulation(
+            config, single_program_workload("bitcnts", 1),
+            policy="energy", duration_s=150,
+        )
+        assert result.migrations("hot_task") >= 5
+        # The task almost never ran below full frequency.
+        task_cpu = result.system.live_tasks()[0].cpu
+        scaled = max(
+            result.dvfs_scaled_fraction(c) for c in range(16)
+        )
+        assert scaled < 0.25

@@ -1,0 +1,250 @@
+"""Unit tests for the functional-unit hotspot extension (paper §7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.profile import ProfileConfig
+from repro.cpu.events import N_EVENTS, HwEvent
+from repro.cpu.power import PowerModelParams
+from repro.hotspot.experiment import (
+    FLAVOR_FPFIRE,
+    FLAVOR_INTFIRE,
+    HotspotExperimentConfig,
+    build_tasks,
+    run_hotspot_experiment,
+)
+from repro.hotspot.profiles import UnitEnergyProfile
+from repro.hotspot.thermal_network import MultiUnitThermalModel, UnitThermalParams
+from repro.hotspot.units import (
+    EVENT_UNIT_MATRIX,
+    N_UNITS,
+    STATIC_POWER_SHARES,
+    FunctionalUnit,
+    unit_power_vector,
+)
+
+
+class TestUnitAttribution:
+    def test_matrix_rows_sum_to_one(self):
+        np.testing.assert_allclose(EVENT_UNIT_MATRIX.sum(axis=1), 1.0)
+
+    def test_static_shares_sum_to_one(self):
+        assert STATIC_POWER_SHARES.sum() == pytest.approx(1.0)
+
+    def test_alu_events_heat_the_int_cluster(self):
+        rates = np.zeros(N_EVENTS)
+        rates[HwEvent.ALU_OPS] = 1.0
+        weights = np.array(PowerModelParams().weights_nj)
+        vector = unit_power_vector(rates, weights, 2.2e9, base_w=0.0)
+        assert vector[FunctionalUnit.INT_ALU] > 0
+        assert vector[FunctionalUnit.FPU] == 0
+
+    def test_fp_events_heat_the_fpu(self):
+        rates = np.zeros(N_EVENTS)
+        rates[HwEvent.FP_OPS] = 1.0
+        weights = np.array(PowerModelParams().weights_nj)
+        vector = unit_power_vector(rates, weights, 2.2e9, base_w=0.0)
+        assert vector[FunctionalUnit.FPU] > 0
+        assert vector[FunctionalUnit.INT_ALU] == 0
+
+    def test_vector_sums_to_linear_total(self):
+        rates = np.full(N_EVENTS, 0.3)
+        weights = np.array(PowerModelParams().weights_nj)
+        vector = unit_power_vector(rates, weights, 2.2e9, base_w=20.0)
+        linear_total = float(weights @ rates) * 2.2e9 * 1e-9 + 20.0
+        assert vector.sum() == pytest.approx(linear_total)
+
+    def test_base_share_scales_static_part(self):
+        rates = np.zeros(N_EVENTS)
+        weights = np.zeros(N_EVENTS)
+        full = unit_power_vector(rates, weights, 2.2e9, base_w=20.0, base_share=1.0)
+        half = unit_power_vector(rates, weights, 2.2e9, base_w=20.0, base_share=0.5)
+        np.testing.assert_allclose(half, full / 2)
+
+    def test_validation(self):
+        weights = np.zeros(N_EVENTS)
+        with pytest.raises(ValueError):
+            unit_power_vector(np.zeros(3), weights, 2.2e9, 20.0)
+        with pytest.raises(ValueError):
+            unit_power_vector(np.zeros(N_EVENTS), weights, 2.2e9, 20.0, base_share=2.0)
+
+
+class TestMultiUnitThermalModel:
+    def test_steady_state_reached(self):
+        params = UnitThermalParams()
+        model = MultiUnitThermalModel(params)
+        powers = np.array([10.0, 15.0, 5.0, 8.0])
+        for _ in range(6000):
+            model.step(powers, 0.05)
+        np.testing.assert_allclose(
+            model.unit_temps_c, params.steady_state(powers), atol=0.1
+        )
+
+    def test_loaded_unit_is_hottest(self):
+        model = MultiUnitThermalModel(UnitThermalParams())
+        powers = np.zeros(N_UNITS)
+        powers[FunctionalUnit.FPU] = 25.0
+        for _ in range(2000):
+            model.step(powers, 0.05)
+        assert model.hottest_unit() == FunctionalUnit.FPU
+
+    def test_units_share_the_spreader(self):
+        """Heating one unit warms the others through the spreader."""
+        model = MultiUnitThermalModel(UnitThermalParams())
+        powers = np.zeros(N_UNITS)
+        powers[FunctionalUnit.INT_ALU] = 30.0
+        for _ in range(4000):
+            model.step(powers, 0.05)
+        # Idle units sit at the spreader temperature, well above ambient.
+        assert model.unit_temps_c[FunctionalUnit.FPU] == pytest.approx(
+            model.spreader_temp_c, abs=0.2
+        )
+        assert model.spreader_temp_c > 30.0
+
+    def test_unit_reacts_much_faster_than_spreader(self):
+        model = MultiUnitThermalModel(UnitThermalParams())
+        powers = np.zeros(N_UNITS)
+        powers[FunctionalUnit.INT_ALU] = 30.0
+        model.step(powers, 3.0)  # a few unit time constants
+        unit_rise = model.unit_temps_c[FunctionalUnit.INT_ALU] - 25.0
+        spreader_rise = model.spreader_temp_c - 25.0
+        assert unit_rise > 4 * spreader_rise
+
+    def test_reset(self):
+        model = MultiUnitThermalModel(UnitThermalParams())
+        model.step(np.full(N_UNITS, 20.0), 10.0)
+        model.reset()
+        np.testing.assert_allclose(model.unit_temps_c, 25.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UnitThermalParams(unit_r_k_per_w=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            UnitThermalParams(spreader_r_k_per_w=0.0)
+        model = MultiUnitThermalModel(UnitThermalParams())
+        with pytest.raises(ValueError):
+            model.step(np.zeros(2), 0.1)
+        with pytest.raises(ValueError):
+            model.step(np.zeros(N_UNITS), -0.1)
+
+
+class TestUnitEnergyProfile:
+    def test_record_and_read_back(self):
+        profile = UnitEnergyProfile(ProfileConfig())
+        energies = np.array([1.0, 2.0, 0.5, 0.5])  # J over 0.1 s
+        profile.record(energies, 0.1)
+        np.testing.assert_allclose(profile.power_vector_w, energies / 0.1)
+        assert profile.total_power_w == pytest.approx(40.0)
+
+    def test_priming(self):
+        initial = np.array([5.0, 20.0, 2.0, 3.0])
+        profile = UnitEnergyProfile(ProfileConfig(weight_p=0.25), initial)
+        np.testing.assert_allclose(profile.power_vector_w, initial)
+        profile.record(initial * 0.1, 0.1)  # same powers again
+        np.testing.assert_allclose(profile.power_vector_w, initial)
+
+    def test_shift_between_units_tracked(self):
+        """A task moving from integer to FP work shifts its vector while
+        total power stays the same — exactly what the scalar profile
+        cannot see."""
+        profile = UnitEnergyProfile(ProfileConfig(weight_p=0.5))
+        int_phase = np.array([10.0, 30.0, 0.0, 10.0])
+        fp_phase = np.array([10.0, 0.0, 30.0, 10.0])
+        for _ in range(20):
+            profile.record(int_phase * 0.1, 0.1)
+        total_before = profile.total_power_w
+        for _ in range(20):
+            profile.record(fp_phase * 0.1, 0.1)
+        assert profile.total_power_w == pytest.approx(total_before, rel=1e-6)
+        assert profile.power_vector_w[FunctionalUnit.FPU] > 29.0
+        assert profile.power_vector_w[FunctionalUnit.INT_ALU] < 1.0
+
+    def test_validation(self):
+        profile = UnitEnergyProfile(ProfileConfig())
+        with pytest.raises(ValueError):
+            profile.record(np.zeros(2), 0.1)
+        with pytest.raises(ValueError):
+            profile.record(-np.ones(N_UNITS), 0.1)
+        with pytest.raises(ValueError):
+            profile.record(np.zeros(N_UNITS), 0.0)
+        with pytest.raises(ValueError):
+            UnitEnergyProfile(ProfileConfig(), np.zeros(2))
+
+
+class TestHotspotExperiment:
+    def test_tasks_have_equal_total_but_different_vectors(self):
+        tasks = build_tasks(HotspotExperimentConfig())
+        int_task = next(t for t in tasks if t.name.startswith("intfire"))
+        fp_task = next(t for t in tasks if t.name.startswith("fpfire"))
+        assert int_task.total_power_w == pytest.approx(
+            fp_task.total_power_w, rel=0.01
+        )
+        assert int_task.unit_powers[FunctionalUnit.INT_ALU] > 3 * (
+            fp_task.unit_powers[FunctionalUnit.INT_ALU]
+        )
+        assert fp_task.unit_powers[FunctionalUnit.FPU] > 3 * (
+            int_task.unit_powers[FunctionalUnit.FPU]
+        )
+
+    def test_total_power_policy_is_blind(self):
+        """The §7 premise: equal total powers leave the scalar policy
+        nothing to balance; stacked units throttle."""
+        config = HotspotExperimentConfig(duration_s=60.0)
+        result = run_hotspot_experiment(config, "total")
+        assert result.swaps == 0
+        assert result.throttle_fraction > 0.05
+
+    def test_unit_policy_fixes_the_stacking(self):
+        config = HotspotExperimentConfig(duration_s=60.0)
+        result = run_hotspot_experiment(config, "unit")
+        assert result.swaps >= 1
+        assert result.throttle_fraction == 0.0
+        assert result.max_unit_temp_c < config.unit_temp_limit_c
+
+    def test_unit_policy_beats_total_policy(self):
+        config = HotspotExperimentConfig(duration_s=60.0)
+        total = run_hotspot_experiment(config, "total")
+        unit = run_hotspot_experiment(config, "unit")
+        assert unit.throughput_vs(total) > 0.05
+
+    def test_homogeneous_workload_ties(self):
+        """All-integer tasks: no placement can help (the §6.3 corner
+        case carries over to the unit dimension)."""
+        config = HotspotExperimentConfig(tasks="iiii", duration_s=60.0)
+        total = run_hotspot_experiment(config, "total")
+        unit = run_hotspot_experiment(config, "unit")
+        assert abs(unit.throughput_vs(total)) < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotspotExperimentConfig(tasks="xyz")
+        with pytest.raises(ValueError):
+            HotspotExperimentConfig(n_cpus=0)
+        with pytest.raises(ValueError):
+            HotspotExperimentConfig(phase_period_s=0.0)
+        with pytest.raises(ValueError):
+            run_hotspot_experiment(HotspotExperimentConfig(), "quantum")
+
+    def test_decisions_flow_through_learned_profiles(self):
+        """The balancers read the learned UnitEnergyProfile, not the
+        ground-truth vectors; for static tasks the profile converges to
+        the truth, so the unit policy still fixes the stacking."""
+        tasks = build_tasks(HotspotExperimentConfig())
+        task = tasks[0]
+        # Scheduler-visible powers come from the profile object.
+        np.testing.assert_allclose(task.unit_powers, task.profile.power_vector_w)
+
+    def test_alternating_phases_track_in_profiles(self):
+        """With phase alternation the tasks' heat location moves while
+        total power stays fixed; the learned profiles follow, and the
+        system stays healthy under both policies."""
+        config = HotspotExperimentConfig(duration_s=90.0, phase_period_s=15.0)
+        for policy in ("total", "unit"):
+            result = run_hotspot_experiment(config, policy)
+            assert result.total_busy_s > 0
+        tasks = build_tasks(config)
+        # A task's phase vector flips with the configured period.
+        first = tasks[0].current_powers(0.0, 15.0)
+        second = tasks[0].current_powers(16.0, 15.0)
+        assert not np.allclose(first, second)
+        assert first.sum() == pytest.approx(second.sum(), rel=0.01)

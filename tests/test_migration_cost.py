@@ -1,0 +1,145 @@
+"""Migration-cost tests: the §6.5 analysis, quantified.
+
+"If a task is migrated every ten seconds, it executes in the order of
+ten billion instructions between two migrations ... caches can be
+considered warm after executing some millions of instructions.  This is
+a difference of three orders of magnitude, so the performance penalty is
+within the sub percent range."
+"""
+
+import pytest
+
+from repro.api import run_simulation
+from repro.config import SystemConfig
+from repro.cpu.thermal import ThermalParams
+from repro.cpu.topology import MachineSpec
+from repro.workloads.generator import single_program_workload
+from repro.workloads.programs import program
+from tests.conftest import make_task
+
+
+class TestWarmupMechanics:
+    def _system(self, **kwargs):
+        from repro.system import System
+        from repro.workloads.generator import WorkloadSpec, TaskSpec
+
+        defaults = dict(
+            machine=MachineSpec.ibm_x445(smt=False),
+            max_power_per_cpu_w=500.0,
+            seed=1,
+        )
+        defaults.update(kwargs)
+        config = SystemConfig(**defaults)
+        wl = WorkloadSpec("one", (TaskSpec(program=program("aluadd")),))
+        return System(config, wl, policy="baseline")
+
+    def test_migration_marks_caches_cold(self):
+        system = self._system()
+        task = make_task()
+        system.runqueues[0].enqueue(task)
+        system._migrate(task, 0, 1, "test")
+        assert task.cold_instructions_remaining == pytest.approx(2e7)
+
+    def test_cross_node_migration_costs_more(self):
+        system = self._system()
+        task = make_task()
+        system.runqueues[0].enqueue(task)  # node 0
+        system._migrate(task, 0, 4, "test")  # CPU 4 is node 1
+        assert task.cold_instructions_remaining == pytest.approx(6e7)
+
+    def test_zero_warmup_disables_modelling(self):
+        system = self._system(cache_warmup_instructions=0.0)
+        task = make_task()
+        system.runqueues[0].enqueue(task)
+        system._migrate(task, 0, 1, "test")
+        assert task.cold_instructions_remaining == 0.0
+
+    def test_warmup_slows_then_recovers(self):
+        system = self._system()
+        task = make_task()
+        task.cold_instructions_remaining = 1e6
+        executed = system._apply_cache_warmup(task, 4e6)
+        # 1e6 cold at 0.7 speed, remainder warm.
+        assert executed < 4e6
+        assert task.cold_instructions_remaining == 0.0
+        assert task.warmup_instructions_lost == pytest.approx(4e6 - executed)
+        # Fully warm now: untouched.
+        again = system._apply_cache_warmup(task, 4e6) if (
+            task.cold_instructions_remaining > 0
+        ) else 4e6
+        assert again == 4e6
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(cache_warmup_instructions=-1)
+        with pytest.raises(ValueError):
+            SystemConfig(numa_warmup_factor=0.5)
+        with pytest.raises(ValueError):
+            SystemConfig(cold_cache_ipc_factor=0.0)
+
+
+class TestSection65Claim:
+    def test_hot_task_tour_penalty_is_sub_percent(self):
+        """Figure 9's cadence (~1 migration / 10 s) loses well under 1 %
+        of the task's instructions to cold caches — the §6.5 argument."""
+        config = SystemConfig(
+            machine=MachineSpec.ibm_x445(smt=True),
+            max_power_per_cpu_w=20.0,
+            thermal=ThermalParams(r_k_per_w=0.30, c_j_per_k=50.0),
+            seed=3,
+        )
+        result = run_simulation(
+            config, single_program_workload("bitcnts", 1),
+            policy="energy", duration_s=200,
+        )
+        task = result.system.live_tasks()[0]
+        assert task.migrations >= 10
+        executed = sum(result.system.instructions_retired.values())
+        penalty = task.warmup_instructions_lost / executed
+        assert 0 < penalty < 0.01
+
+    def test_gain_dwarfs_migration_cost(self):
+        """With migration costs modelled, hot-task migration still beats
+        throttling by the Figure 10 margin — the benefit is orders of
+        magnitude above the cost."""
+        from repro.cpu.throttle import ThrottleConfig
+
+        config = SystemConfig(
+            machine=MachineSpec.ibm_x445(smt=True),
+            max_power_per_cpu_w=20.0,
+            thermal=ThermalParams(r_k_per_w=0.30, c_j_per_k=50.0),
+            throttle=ThrottleConfig(enabled=True, scope="package"),
+            seed=5,
+        )
+        wl = single_program_workload("bitcnts", 1)
+        base = run_simulation(config, wl, policy="baseline", duration_s=200)
+        energy = run_simulation(config, wl, policy="energy", duration_s=200)
+        gain = energy.fractional_jobs() / base.fractional_jobs() - 1
+        assert gain > 0.6
+
+    def test_pathological_warmup_scales_the_penalty(self):
+        """Sanity check of the model itself: caches taking 100x longer
+        to warm raise the same tour's penalty by orders of magnitude —
+        i.e. §6.5's conclusion hinges on the three-orders-of-magnitude
+        gap it cites, which the model honours."""
+        def penalty_for(warmup):
+            config = SystemConfig(
+                machine=MachineSpec.ibm_x445(smt=True),
+                max_power_per_cpu_w=20.0,
+                thermal=ThermalParams(r_k_per_w=0.30, c_j_per_k=50.0),
+                cache_warmup_instructions=warmup,
+                seed=3,
+            )
+            result = run_simulation(
+                config, single_program_workload("bitcnts", 1),
+                policy="energy", duration_s=200,
+            )
+            task = result.system.live_tasks()[0]
+            executed = sum(result.system.instructions_retired.values())
+            return task.warmup_instructions_lost / executed
+
+        realistic = penalty_for(2e7)
+        pathological = penalty_for(2e9)
+        assert realistic < 0.001
+        assert pathological > 0.015
+        assert pathological > 20 * realistic

@@ -1,0 +1,298 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants: exponential averages, the RC model, runqueues, domains,
+balancers, and the placement rule."""
+
+import math
+import random
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.ewma import ThermalEwma, VariablePeriodEwma
+from repro.core.energy_balance import EnergyBalancer
+from repro.core.hot_migration import HotTaskMigrator
+from repro.cpu.thermal import ThermalParams, ThermalRC
+from repro.cpu.topology import MachineSpec, Topology
+from repro.sched.domains import build_domains
+from repro.sched.load_balance import load_balance_pass
+from repro.sched.runqueue import RunQueue
+from tests.conftest import Harness, make_task
+
+powers = st.floats(min_value=0.0, max_value=200.0, allow_nan=False)
+periods = st.floats(min_value=1e-3, max_value=10.0, allow_nan=False)
+
+
+class TestEwmaProperties:
+    @given(samples=st.lists(st.tuples(powers, periods), min_size=1, max_size=50))
+    def test_ewma_stays_within_sample_range(self, samples):
+        """The average never leaves the convex hull of its inputs."""
+        ewma = VariablePeriodEwma(0.1, 0.25)
+        values = [v for v, _ in samples]
+        for value, period in samples:
+            ewma.update(value, period)
+        assert min(values) - 1e-9 <= ewma.value <= max(values) + 1e-9
+
+    @given(initial=powers, sample=powers, period=periods)
+    def test_update_moves_toward_sample(self, initial, sample, period):
+        ewma = VariablePeriodEwma(0.1, 0.25)
+        ewma.prime(initial)
+        ewma.update(sample, period)
+        if sample >= initial:
+            assert initial - 1e-9 <= ewma.value <= sample + 1e-9
+        else:
+            assert sample - 1e-9 <= ewma.value <= initial + 1e-9
+
+    @given(
+        value=powers,
+        splits=st.lists(st.floats(0.01, 1.0), min_size=2, max_size=6),
+    )
+    def test_path_independence_for_constant_signal(self, value, splits):
+        """Splitting one interval into sub-intervals of the same sample
+        value yields the same average as one combined update."""
+        total = sum(splits)
+        split_ewma = VariablePeriodEwma(0.1, 0.25)
+        whole_ewma = VariablePeriodEwma(0.1, 0.25)
+        split_ewma.prime(50.0)
+        whole_ewma.prime(50.0)
+        for chunk in splits:
+            split_ewma.update(value, chunk)
+        whole_ewma.update(value, total)
+        assert math.isclose(split_ewma.value, whole_ewma.value, rel_tol=1e-9,
+                            abs_tol=1e-9)
+
+    @given(power=powers, dt=periods, tau=st.floats(1.0, 100.0))
+    def test_thermal_ewma_bounded_by_input(self, power, dt, tau):
+        ewma = ThermalEwma(tau_s=tau, initial_w=0.0)
+        for _ in range(20):
+            ewma.update(power, dt)
+        assert -1e-9 <= ewma.value_w <= power + 1e-9
+
+
+class TestThermalRCProperties:
+    @given(power=powers, dt=periods, r=st.floats(0.05, 1.0), c=st.floats(5.0, 500.0))
+    def test_temperature_bounded_by_ambient_and_steady_state(self, power, dt, r, c):
+        params = ThermalParams(r_k_per_w=r, c_j_per_k=c, ambient_c=25.0)
+        rc = ThermalRC(params)
+        steady = params.steady_state_c(power)
+        for _ in range(50):
+            rc.step(power, dt)
+            assert 25.0 - 1e-9 <= rc.temperature_c <= steady + 1e-9
+
+    @given(
+        power=powers,
+        dts=st.lists(st.floats(0.01, 5.0), min_size=2, max_size=8),
+    )
+    def test_integration_path_independence(self, power, dts):
+        """Exact exponential integration: many small steps equal one big
+        step of the same total duration."""
+        params = ThermalParams()
+        split = ThermalRC(params, initial_c=30.0)
+        whole = ThermalRC(params, initial_c=30.0)
+        for dt in dts:
+            split.step(power, dt)
+        whole.step(power, sum(dts))
+        assert math.isclose(split.temperature_c, whole.temperature_c,
+                            rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(p_low=powers, p_high=powers, dt=periods)
+    def test_monotone_in_power(self, p_low, p_high, dt):
+        assume(p_low < p_high)
+        params = ThermalParams()
+        low = ThermalRC(params)
+        high = ThermalRC(params)
+        for _ in range(30):
+            low.step(p_low, dt)
+            high.step(p_high, dt)
+        assert high.temperature_c >= low.temperature_c
+
+
+class TestRunQueueProperties:
+    @given(ops=st.lists(st.sampled_from(["enqueue", "pick", "remove_one"]),
+                        min_size=1, max_size=60))
+    def test_nr_running_consistent_under_any_op_sequence(self, ops):
+        rq = RunQueue(0)
+        pid = 0
+        alive = []
+        for op in ops:
+            if op == "enqueue":
+                pid += 1
+                task = make_task(pid=pid)
+                rq.enqueue(task)
+                alive.append(task)
+            elif op == "pick":
+                rq.pick_next()
+            elif op == "remove_one" and alive:
+                task = alive.pop()
+                rq.remove(task)
+            assert rq.nr_running == len(alive)
+            assert len(list(rq.tasks())) == len(alive)
+
+    @given(n=st.integers(1, 12), rounds=st.integers(1, 5))
+    def test_round_robin_is_fair(self, n, rounds):
+        """Over n*k picks every task is scheduled exactly k times."""
+        rq = RunQueue(0)
+        tasks = [make_task(pid=i) for i in range(1, n + 1)]
+        for t in tasks:
+            rq.enqueue(t)
+        picks = [rq.pick_next() for _ in range(n * rounds)]
+        for t in tasks:
+            assert picks.count(t) == rounds
+
+
+class TestDomainProperties:
+    specs = st.tuples(
+        st.integers(1, 3),  # nodes
+        st.integers(1, 4),  # packages per node
+        st.integers(1, 2),  # cores per package
+        st.integers(1, 2),  # threads per core
+    )
+
+    @given(shape=specs)
+    @settings(max_examples=40)
+    def test_every_domain_level_partitions_its_span(self, shape):
+        nodes, pkgs, cores, threads = shape
+        spec = MachineSpec(nodes=nodes, packages_per_node=pkgs,
+                           cores_per_package=cores, threads_per_core=threads)
+        topo = Topology(spec)
+        hierarchy = build_domains(topo)
+        for cpu in range(len(topo)):
+            previous_span: set[int] = {cpu}
+            for domain in hierarchy.chain(cpu):
+                span = set(domain.span)
+                covered = sorted(c for g in domain.groups for c in g.cpus)
+                assert covered == sorted(span)
+                # Chains are nested: each level contains the one below.
+                assert previous_span <= span
+                previous_span = span
+
+    @given(shape=specs)
+    @settings(max_examples=40)
+    def test_top_level_spans_all_cpus_when_multiple_groups_exist(self, shape):
+        nodes, pkgs, cores, threads = shape
+        spec = MachineSpec(nodes=nodes, packages_per_node=pkgs,
+                           cores_per_package=cores, threads_per_core=threads)
+        topo = Topology(spec)
+        hierarchy = build_domains(topo)
+        if len(topo) == 1:
+            assert hierarchy.chain(0) == ()
+            return
+        top = hierarchy.top_domain(0)
+        assert top is not None
+        assert set(top.span) == set(range(len(topo)))
+
+    @given(shape=specs)
+    @settings(max_examples=40)
+    def test_cpu_ids_dense_and_unique(self, shape):
+        nodes, pkgs, cores, threads = shape
+        spec = MachineSpec(nodes=nodes, packages_per_node=pkgs,
+                           cores_per_package=cores, threads_per_core=threads)
+        topo = Topology(spec)
+        ids = [c.cpu_id for c in topo.cpus]
+        assert ids == list(range(spec.n_cpus))
+
+
+class TestBalancerInvariants:
+    @given(
+        lengths=st.lists(st.integers(0, 6), min_size=4, max_size=4),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=60)
+    def test_load_balance_never_increases_imbalance(self, lengths, seed):
+        h = Harness(MachineSpec.smp(4))
+        rng = random.Random(seed)
+        for cpu, n in enumerate(lengths):
+            for _ in range(n):
+                h.add_task(cpu, rng.uniform(25.0, 61.0))
+        before = max(lengths) - min(lengths)
+        total_before = sum(lengths)
+        for cpu in range(4):
+            load_balance_pass(
+                cpu, h.hierarchy, h.runqueues,
+                migrate=lambda t, s, d: h.migrate(t, s, d),
+            )
+        after_lengths = [h.runqueues[c].nr_running for c in range(4)]
+        assert sum(after_lengths) == total_before  # no task lost or duplicated
+        assert max(after_lengths) - min(after_lengths) <= max(before, 1)
+
+    @given(
+        layout=st.lists(
+            st.lists(st.floats(25.0, 61.0), min_size=0, max_size=5),
+            min_size=4, max_size=4,
+        ),
+        thermals=st.lists(st.floats(0.0, 60.0), min_size=4, max_size=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_energy_balance_preserves_tasks_and_reduces_spread(
+        self, layout, thermals
+    ):
+        h = Harness(MachineSpec.smp(4))
+        all_tasks = []
+        for cpu, queue_powers in enumerate(layout):
+            for p in queue_powers:
+                all_tasks.append(h.add_task(cpu, p))
+            h.set_thermal(cpu, thermals[cpu])
+        total = len(all_tasks)
+
+        def ratio_spread():
+            ratios = [h.metrics.runqueue_power_ratio(c) for c in range(4)]
+            return max(ratios) - min(ratios)
+
+        before = ratio_spread()
+        balancer = EnergyBalancer(
+            h.metrics, h.hierarchy, h.runqueues,
+            lambda t, s, d, r: h.migrate(t, s, d, r),
+        )
+        for cpu in range(4):
+            balancer.balance(cpu)
+        after_total = sum(h.runqueues[c].nr_running for c in range(4))
+        assert after_total == total
+        # Tasks are conserved object-for-object.
+        assert {id(t) for c in range(4) for t in h.runqueues[c].tasks()} == {
+            id(t) for t in all_tasks
+        }
+
+    @given(
+        hot_cpu=st.integers(0, 3),
+        thermals=st.lists(st.floats(0.0, 39.0), min_size=4, max_size=4),
+    )
+    @settings(max_examples=60)
+    def test_hot_migration_moves_at_most_the_one_task(self, hot_cpu, thermals):
+        h = Harness(MachineSpec.smp(4), max_power_w=40.0)
+        task = h.add_task(hot_cpu, 61.0, running=True)
+        for cpu, t in enumerate(thermals):
+            h.set_thermal(cpu, t)
+        h.set_thermal(hot_cpu, 39.5)
+        migrator = HotTaskMigrator(
+            h.metrics, h.hierarchy, h.runqueues,
+            lambda t_, s, d, r: h.migrate(t_, s, d, r),
+        )
+        migrator.check(hot_cpu)
+        # Wherever it went, exactly one runqueue holds exactly this task.
+        holders = [c for c in range(4) if task in h.runqueues[c]]
+        assert len(holders) == 1
+        assert sum(h.runqueues[c].nr_running for c in range(4)) == 1
+
+
+class TestPlacementProperties:
+    @given(
+        queue_powers=st.lists(
+            st.lists(st.floats(25.0, 61.0), min_size=1, max_size=3),
+            min_size=4, max_size=4,
+        ),
+        new_power=st.floats(25.0, 61.0),
+    )
+    @settings(max_examples=60)
+    def test_placement_always_picks_least_loaded(self, queue_powers, new_power):
+        from repro.core.placement import InitialPlacement
+
+        h = Harness(MachineSpec.smp(4))
+        for cpu, queue in enumerate(queue_powers):
+            for p in queue:
+                h.add_task(cpu, p)
+        placement = InitialPlacement(h.metrics, h.runqueues)
+        task = make_task(power_w=new_power)
+        task.profile.record(new_power * 0.1, 0.1)
+        chosen = placement.place(task)
+        min_len = min(h.runqueues[c].nr_running for c in range(4))
+        assert h.runqueues[chosen].nr_running == min_len

@@ -1,0 +1,183 @@
+"""Property-based tests for the extension components: containers,
+DVFS governor, priority timeslices, the multi-unit thermal network, and
+unit profiles."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.containers import ContainerConfig, EnergyContainer
+from repro.core.profile import ProfileConfig
+from repro.cpu.dvfs import DvfsConfig, DvfsController
+from repro.hotspot.profiles import UnitEnergyProfile
+from repro.hotspot.thermal_network import MultiUnitThermalModel, UnitThermalParams
+from repro.hotspot.units import N_UNITS
+from repro.sched.priorities import MAX_NICE, MIN_NICE, timeslice_ms
+
+
+class TestContainerProperties:
+    @given(
+        refill=st.floats(1.0, 100.0),
+        charges=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=100),
+        dt=st.floats(0.001, 1.0),
+    )
+    def test_balance_never_exceeds_capacity(self, refill, charges, dt):
+        container = EnergyContainer(ContainerConfig(refill_w=refill))
+        for energy in charges:
+            container.charge(energy)
+            container.refill(dt)
+            assert container.balance_j <= container.config.capacity_j + 1e-9
+
+    @given(
+        refill=st.floats(1.0, 100.0),
+        events=st.lists(
+            st.tuples(st.floats(0.0, 5.0), st.floats(0.001, 0.5)),
+            min_size=1, max_size=200,
+        ),
+    )
+    def test_long_run_average_power_bounded_by_cap(self, refill, events):
+        """If the task only runs while eligible, its consumed energy can
+        never exceed initial capacity + refill * elapsed."""
+        container = EnergyContainer(ContainerConfig(refill_w=refill))
+        consumed = 0.0
+        elapsed = 0.0
+        for energy, dt in events:
+            if not container.is_empty:
+                container.charge(energy)
+                consumed += energy
+            container.refill(dt)
+            elapsed += dt
+        budget = container.config.capacity_j + refill * elapsed
+        # One overdraft of a single charge is permitted by design.
+        assert consumed <= budget + 5.0 + 1e-9
+
+    @given(charged=st.floats(0.0, 1000.0))
+    def test_charged_accounting_exact(self, charged):
+        container = EnergyContainer(ContainerConfig(refill_w=10.0))
+        container.charge(charged)
+        assert container.charged_j == charged
+
+
+class TestDvfsProperties:
+    @given(
+        thermals=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=200),
+        limit=st.floats(10.0, 80.0),
+    )
+    def test_scale_always_a_configured_level(self, thermals, limit):
+        ctl = DvfsController(1)
+        for t in thermals:
+            scale = ctl.update(0, t, limit)
+            assert scale in ctl.config.levels
+
+    @given(limit=st.floats(10.0, 80.0), n=st.integers(1, 50))
+    def test_persistent_overload_reaches_floor(self, limit, n):
+        ctl = DvfsController(1)
+        for _ in range(len(ctl.config.levels) + n):
+            ctl.update(0, limit + 50.0, limit)
+        assert ctl.scale(0) == min(ctl.config.levels)
+
+    @given(limit=st.floats(10.0, 80.0))
+    def test_cold_cpu_returns_to_full_speed(self, limit):
+        ctl = DvfsController(1)
+        for _ in range(10):
+            ctl.update(0, limit + 10.0, limit)
+        for _ in range(10):
+            ctl.update(0, 0.0, limit)
+        assert ctl.scale(0) == 1.0
+
+    @given(steps=st.lists(st.floats(0.0, 100.0), min_size=2, max_size=100))
+    def test_moves_one_level_per_update(self, steps):
+        ctl = DvfsController(1)
+        levels = list(ctl.config.levels)
+        prev = levels.index(ctl.scale(0))
+        for t in steps:
+            ctl.update(0, t, 40.0)
+            cur = levels.index(ctl.scale(0))
+            assert abs(cur - prev) <= 1
+            prev = cur
+
+
+class TestPriorityProperties:
+    @given(nice=st.integers(MIN_NICE, MAX_NICE))
+    def test_timeslice_positive_and_bounded(self, nice):
+        ts = timeslice_ms(nice)
+        assert 1 <= ts <= 200
+
+    @given(
+        a=st.integers(MIN_NICE, MAX_NICE),
+        b=st.integers(MIN_NICE, MAX_NICE),
+    )
+    def test_monotone_nice_ordering(self, a, b):
+        assume(a < b)
+        assert timeslice_ms(a) >= timeslice_ms(b)
+
+    @given(nice=st.integers(MIN_NICE, MAX_NICE), base=st.integers(20, 400))
+    def test_scaling_preserves_ordering_with_default(self, nice, base):
+        assert (timeslice_ms(nice, base) >= timeslice_ms(0, base)) == (
+            timeslice_ms(nice) >= timeslice_ms(0)
+        ) or timeslice_ms(nice, base) == timeslice_ms(0, base)
+
+
+class TestThermalNetworkProperties:
+    powers = st.lists(st.floats(0.0, 40.0), min_size=N_UNITS, max_size=N_UNITS)
+
+    @given(unit_powers=powers, dt=st.floats(0.01, 2.0))
+    @settings(max_examples=50, deadline=None)
+    def test_temps_bounded_by_ambient_and_steady_state(self, unit_powers, dt):
+        params = UnitThermalParams()
+        model = MultiUnitThermalModel(params)
+        powers = np.asarray(unit_powers)
+        ceiling = params.steady_state(powers).max()
+        for _ in range(60):
+            model.step(powers, dt)
+            assert model.unit_temps_c.min() >= params.ambient_c - 1e-6
+            assert model.unit_temps_c.max() <= ceiling + 1e-6
+
+    @given(unit_powers=powers)
+    @settings(max_examples=30, deadline=None)
+    def test_convergence_to_steady_state(self, unit_powers):
+        params = UnitThermalParams()
+        model = MultiUnitThermalModel(params)
+        powers = np.asarray(unit_powers)
+        for _ in range(4000):
+            model.step(powers, 0.1)
+        np.testing.assert_allclose(
+            model.unit_temps_c, params.steady_state(powers), atol=0.05
+        )
+
+    @given(unit_powers=powers)
+    @settings(max_examples=30, deadline=None)
+    def test_spreader_temp_below_hottest_loaded_unit(self, unit_powers):
+        assume(max(unit_powers) > 1.0)
+        model = MultiUnitThermalModel(UnitThermalParams())
+        powers = np.asarray(unit_powers)
+        for _ in range(2000):
+            model.step(powers, 0.1)
+        assert model.spreader_temp_c <= model.hottest_unit_temp_c + 1e-6
+
+
+class TestUnitProfileProperties:
+    vectors = st.lists(
+        st.lists(st.floats(0.0, 50.0), min_size=N_UNITS, max_size=N_UNITS),
+        min_size=1, max_size=40,
+    )
+
+    @given(samples=vectors)
+    def test_total_equals_sum_of_components(self, samples):
+        profile = UnitEnergyProfile(ProfileConfig())
+        for vec in samples:
+            profile.record(np.asarray(vec) * 0.1, 0.1)
+        np.testing.assert_allclose(
+            profile.total_power_w, profile.power_vector_w.sum(), rtol=1e-9
+        )
+
+    @given(samples=vectors)
+    def test_vector_within_sample_hull(self, samples):
+        profile = UnitEnergyProfile(ProfileConfig())
+        arr = np.asarray(samples)
+        for vec in samples:
+            profile.record(np.asarray(vec) * 0.1, 0.1)
+        lo = arr.min(axis=0)
+        hi = arr.max(axis=0)
+        assert np.all(profile.power_vector_w >= lo - 1e-9)
+        assert np.all(profile.power_vector_w <= hi + 1e-9)

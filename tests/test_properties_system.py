@@ -1,0 +1,135 @@
+"""Whole-system property tests: random small scenarios, hard invariants.
+
+Each example runs a short simulation and checks conservation laws that
+must hold regardless of workload, policy, or machine shape:
+
+* tasks are neither lost nor duplicated;
+* busy time never exceeds wall time;
+* retired instructions match accumulated busy time;
+* thermal powers stay within physical bounds;
+* migration counters equal migration events.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import run_simulation
+from repro.config import SystemConfig
+from repro.cpu.topology import MachineSpec
+from repro.sched.task import TaskState
+from repro.workloads.generator import TaskSpec, WorkloadSpec
+from repro.workloads.programs import PROGRAMS, program
+
+PROGRAM_NAMES = sorted(PROGRAMS)
+
+task_specs = st.builds(
+    lambda name, nice, respawn, job_s: TaskSpec(
+        program=program(name), nice=nice, respawn=respawn, solo_job_s=job_s
+    ),
+    name=st.sampled_from(PROGRAM_NAMES),
+    nice=st.integers(-10, 10),
+    respawn=st.sampled_from(["restart_same", "fork_new"]),
+    job_s=st.floats(0.5, 5.0),
+)
+
+scenarios = st.fixed_dictionaries(
+    {
+        "tasks": st.lists(task_specs, min_size=1, max_size=6),
+        "n_cpus": st.integers(1, 4),
+        "policy": st.sampled_from(["baseline", "energy"]),
+        "seed": st.integers(0, 1000),
+    }
+)
+
+
+def run_scenario(params, duration_s=6.0):
+    config = SystemConfig(
+        machine=MachineSpec.smp(params["n_cpus"]),
+        max_power_per_cpu_w=60.0,
+        seed=params["seed"],
+        sample_interval_s=0.5,
+    )
+    workload = WorkloadSpec("fuzz", tuple(params["tasks"]))
+    return run_simulation(
+        config, workload, policy=params["policy"], duration_s=duration_s
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(params=scenarios)
+def test_task_conservation(params):
+    result = run_simulation_cache(params)
+    live = result.system.live_tasks()
+    # Every live task sits on exactly one runqueue.
+    for task in live:
+        holders = [
+            cpu for cpu, rq in result.system.runqueues.items() if task in rq
+        ]
+        if task.state in (TaskState.READY, TaskState.RUNNING):
+            assert holders == [task.cpu]
+        else:
+            assert holders == []
+    # Exited tasks are not on any queue.
+    for task in result.system.exited_tasks:
+        assert task.state is TaskState.EXITED
+        assert all(task not in rq for rq in result.system.runqueues.values())
+
+
+@settings(max_examples=12, deadline=None)
+@given(params=scenarios)
+def test_time_and_work_conservation(params):
+    result = run_simulation_cache(params)
+    duration = result.duration_s
+    all_tasks = result.system.live_tasks() + result.system.exited_tasks
+    for task in all_tasks:
+        assert 0.0 <= task.total_busy_s <= duration + 1e-6
+    # Total busy time cannot exceed machine capacity.
+    total_busy = sum(t.total_busy_s for t in all_tasks)
+    assert total_busy <= params["n_cpus"] * duration + 1e-6
+    # Per-CPU utilisation consistent with the total.
+    util_time = sum(
+        result.cpu_utilization(c) for c in range(params["n_cpus"])
+    ) * duration
+    np.testing.assert_allclose(util_time, total_busy, rtol=0.02, atol=0.05)
+
+
+@settings(max_examples=12, deadline=None)
+@given(params=scenarios)
+def test_migration_accounting(params):
+    result = run_simulation_cache(params)
+    assert result.migrations() == len(result.migration_events())
+    all_tasks = result.system.live_tasks() + result.system.exited_tasks
+    assert sum(t.migrations for t in all_tasks) == result.migrations()
+
+
+@settings(max_examples=12, deadline=None)
+@given(params=scenarios)
+def test_thermal_bounds(params):
+    result = run_simulation_cache(params)
+    for c in range(params["n_cpus"]):
+        values = result.thermal_power_series(c).values
+        assert np.all(values >= 0.0)
+        assert np.all(values <= 120.0)  # well under any achievable power
+
+
+_cache: dict = {}
+
+
+def run_simulation_cache(params):
+    """Memoise runs across the four property tests (same strategy seeds
+    produce the same examples, so most runs are shared)."""
+    key = (
+        tuple(
+            (t.program.name, t.nice, t.respawn, t.solo_job_s)
+            for t in params["tasks"]
+        ),
+        params["n_cpus"],
+        params["policy"],
+        params["seed"],
+    )
+    if key not in _cache:
+        if len(_cache) > 64:
+            _cache.clear()
+        _cache[key] = run_scenario(params)
+    return _cache[key]

@@ -1,0 +1,91 @@
+"""Responsiveness tests: the §1 criterion energy-awareness must not
+neglect ("without neglecting their conventional criteria")."""
+
+import pytest
+
+from repro.api import run_simulation
+from repro.config import SystemConfig
+from repro.cpu.topology import MachineSpec
+from repro.workloads.generator import (
+    TaskSpec,
+    WorkloadSpec,
+    mixed_table2_workload,
+    n_copies,
+    single_program_workload,
+)
+from repro.workloads.programs import program
+from tests.conftest import make_task
+
+
+class TestTaskLatencyAccounting:
+    def test_note_ready_then_dispatched(self):
+        task = make_task()
+        task.note_ready(1000)
+        task.note_dispatched(1030)
+        assert task.mean_wake_latency_ms == pytest.approx(30.0)
+        assert task.wake_latency_max_ms == 30.0
+        assert task.ready_since_ms is None
+
+    def test_dispatch_without_pending_ready_is_noop(self):
+        task = make_task()
+        task.note_dispatched(500)
+        assert task.wake_latency_n == 0
+
+    def test_max_and_mean_accumulate(self):
+        task = make_task()
+        for ready, run in ((0, 10), (100, 150), (200, 220)):
+            task.note_ready(ready)
+            task.note_dispatched(run)
+        assert task.mean_wake_latency_ms == pytest.approx(26.666, rel=0.01)
+        assert task.wake_latency_max_ms == 50.0
+
+
+class TestWakeLatencyInVivo:
+    def test_idle_machine_wakes_within_a_tick(self):
+        config = SystemConfig(
+            machine=MachineSpec.smp(2), max_power_per_cpu_w=100.0, seed=5
+        )
+        result = run_simulation(
+            config, single_program_workload("bash", 1), duration_s=30
+        )
+        # Alone on a CPU: a woken task runs on the next tick.
+        assert result.mean_wake_latency_ms() <= 2 * config.tick_ms
+
+    def test_loaded_machine_latency_bounded_by_queue(self):
+        config = SystemConfig(
+            machine=MachineSpec.smp(1), max_power_per_cpu_w=100.0, seed=5
+        )
+        tasks = (TaskSpec(program=program("bash")),) + tuple(
+            n_copies("aluadd", 2)
+        )
+        result = run_simulation(
+            config, WorkloadSpec("loaded", tasks), duration_s=30
+        )
+        # Two 100 ms timeslices of queue ahead, plus dispatch quantum.
+        assert result.max_wake_latency_ms() <= 2 * 100 + 3 * config.tick_ms
+
+    def test_energy_policy_does_not_hurt_responsiveness(self):
+        """Migrations for heat reasons must not degrade wakeup latency
+        materially versus the vanilla scheduler."""
+        config = SystemConfig(
+            machine=MachineSpec.ibm_x445(smt=False),
+            max_power_per_cpu_w=60.0,
+            seed=5,
+        )
+        wl = mixed_table2_workload(3)
+        base = run_simulation(config, wl, policy="baseline", duration_s=120)
+        energy = run_simulation(config, wl, policy="energy", duration_s=120)
+        assert base.mean_wake_latency_ms() > 0  # bzip2 blocks occasionally
+        assert energy.mean_wake_latency_ms() <= (
+            base.mean_wake_latency_ms() * 1.5 + 2 * config.tick_ms
+        )
+
+    def test_no_latency_samples_without_blocking(self):
+        config = SystemConfig(
+            machine=MachineSpec.smp(2), max_power_per_cpu_w=100.0, seed=5
+        )
+        result = run_simulation(
+            config, single_program_workload("aluadd", 1), duration_s=10
+        )
+        # Only the fork itself contributes a (near-zero) sample.
+        assert result.max_wake_latency_ms() <= config.tick_ms

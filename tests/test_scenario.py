@@ -1,0 +1,132 @@
+"""Unit tests for JSON scenario parsing and the run-file CLI path."""
+
+import json
+
+import pytest
+
+from repro.scenario import Scenario, load_scenario, parse_scenario
+
+
+BASE = {
+    "machine": {"preset": "smp", "n_cpus": 2},
+    "max_power_per_cpu_w": 60.0,
+    "seed": 3,
+    "workload": {"builder": "single_program", "program": "aluadd", "n": 2},
+    "policy": "baseline",
+    "duration_s": 5,
+}
+
+
+class TestMachineParsing:
+    def test_x445_preset(self):
+        scenario = parse_scenario(
+            {**BASE, "machine": {"preset": "ibm_x445", "smt": False}}
+        )
+        assert scenario.config.machine.n_cpus == 8
+
+    def test_smp_preset(self):
+        scenario = parse_scenario(BASE)
+        assert scenario.config.machine.n_cpus == 2
+
+    def test_cmp_preset(self):
+        scenario = parse_scenario(
+            {**BASE, "machine": {"preset": "cmp", "packages": 2, "cores": 2}}
+        )
+        assert scenario.config.machine.n_cpus == 4
+
+    def test_explicit_shape(self):
+        scenario = parse_scenario(
+            {**BASE, "machine": {"nodes": 2, "packages_per_node": 2,
+                                  "threads_per_core": 2}}
+        )
+        assert scenario.config.machine.n_cpus == 8
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="preset"):
+            parse_scenario({**BASE, "machine": {"preset": "mainframe"}})
+
+
+class TestWorkloadParsing:
+    def test_builders(self):
+        cases = [
+            ({"builder": "mixed_table2", "copies": 2}, 12),
+            ({"builder": "single_program", "program": "memrw", "n": 3}, 3),
+            ({"builder": "homogeneity", "memrw": 4, "pushpop": 2,
+              "bitcnts": 4}, 10),
+            ({"builder": "short_tasks", "slots": 6, "job_s": 0.5}, 6),
+        ]
+        for spec, expected_len in cases:
+            scenario = parse_scenario({**BASE, "workload": spec})
+            assert len(scenario.workload) == expected_len, spec
+
+    def test_explicit_task_list(self):
+        workload = {
+            "tasks": [
+                {"program": "bitcnts", "power_cap_w": 35.0, "nice": 5},
+                {"program": "memrw", "cpus_allowed": [0],
+                 "arrival_s": 2.0, "respawn": "none"},
+            ]
+        }
+        scenario = parse_scenario({**BASE, "workload": workload})
+        first, second = scenario.workload.tasks
+        assert first.power_cap_w == 35.0
+        assert first.nice == 5
+        assert second.cpus_allowed == (0,)
+        assert second.respawn == "none"
+
+    def test_unknown_builder_rejected(self):
+        with pytest.raises(ValueError, match="builder"):
+            parse_scenario({**BASE, "workload": {"builder": "chaos"}})
+
+
+class TestThermalAndThrottleParsing:
+    def test_per_package_thermal(self):
+        scenario = parse_scenario(
+            {**BASE,
+             "max_power_per_cpu_w": None,
+             "temp_limit_c": 38.0,
+             "thermal": [{"r_k_per_w": 0.3}, {"r_k_per_w": 0.2}]}
+        )
+        assert scenario.config.package_max_power_w(0) == pytest.approx(13 / 0.3)
+
+    def test_wrong_thermal_count_rejected(self):
+        with pytest.raises(ValueError, match="per-package"):
+            parse_scenario(
+                {**BASE, "thermal": [{"r_k_per_w": 0.3}] * 3}
+            )
+
+    def test_throttle_options(self):
+        scenario = parse_scenario(
+            {**BASE,
+             "throttle": {"enabled": True, "scope": "package", "mode": "dvfs"}}
+        )
+        assert scenario.config.throttle.enabled
+        assert scenario.config.throttle.mode == "dvfs"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            parse_scenario({**BASE, "policy": "quantum"})
+
+
+class TestRunning:
+    def test_scenario_runs(self):
+        scenario = parse_scenario(BASE)
+        assert isinstance(scenario, Scenario)
+        result = scenario.run()
+        assert result.fractional_jobs() > 0
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(BASE))
+        scenario = load_scenario(path)
+        assert scenario.duration_s == 5
+
+    def test_cli_run_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(BASE))
+        assert main(["run-file", str(path)]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["policy"] == "baseline"
+        assert summary["machine"]["n_cpus"] == 2

@@ -1,0 +1,116 @@
+"""Unit tests for scheduler domains (paper §4.1, Figure 1)."""
+
+import pytest
+
+from repro.cpu.topology import MachineSpec, Topology
+from repro.sched.domains import CpuGroup, SchedDomain, build_domains
+
+
+class TestCpuGroup:
+    def test_contains(self):
+        group = CpuGroup((0, 1, 2))
+        assert 1 in group
+        assert 5 not in group
+        assert len(group) == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CpuGroup(())
+
+
+class TestSchedDomainValidation:
+    def test_requires_two_groups(self):
+        with pytest.raises(ValueError, match="groups"):
+            SchedDomain(0, "solo", (0,), (CpuGroup((0,)),))
+
+    def test_groups_must_partition_span(self):
+        with pytest.raises(ValueError, match="partition"):
+            SchedDomain(0, "bad", (0, 1, 2), (CpuGroup((0,)), CpuGroup((1,))))
+
+    def test_local_group(self):
+        domain = SchedDomain(
+            0, "d", (0, 1, 2, 3), (CpuGroup((0, 1)), CpuGroup((2, 3)))
+        )
+        assert domain.local_group(2) == CpuGroup((2, 3))
+
+    def test_local_group_unknown_cpu_raises(self):
+        domain = SchedDomain(0, "d", (0, 1), (CpuGroup((0,)), CpuGroup((1,))))
+        with pytest.raises(ValueError):
+            domain.local_group(9)
+
+
+class TestX445Hierarchy:
+    """The paper's Figure 1: SMT level, node level, top level."""
+
+    @pytest.fixture
+    def hierarchy(self):
+        return build_domains(Topology(MachineSpec.ibm_x445(smt=True)))
+
+    def test_three_levels(self, hierarchy):
+        assert hierarchy.n_levels == 3
+        assert [d.name for d in hierarchy.chain(0)] == ["smt", "node", "top"]
+
+    def test_smt_level_flagged(self, hierarchy):
+        smt, node, top = hierarchy.chain(0)
+        assert smt.smt_level
+        assert not node.smt_level
+        assert not top.smt_level
+
+    def test_smt_domain_spans_siblings(self, hierarchy):
+        smt = hierarchy.chain(0)[0]
+        assert smt.span == (0, 8)
+        assert smt.groups == (CpuGroup((0,)), CpuGroup((8,)))
+
+    def test_node_domain_groups_are_packages(self, hierarchy):
+        node = hierarchy.chain(0)[1]
+        assert node.span == (0, 1, 2, 3, 8, 9, 10, 11)
+        assert CpuGroup((0, 8)) in node.groups
+        assert len(node.groups) == 4
+
+    def test_top_domain_groups_are_nodes(self, hierarchy):
+        top = hierarchy.chain(0)[2]
+        assert len(top.groups) == 2
+        assert top.span == tuple(range(16))
+
+    def test_siblings_share_chain_domains(self, hierarchy):
+        assert hierarchy.chain(0)[0] is hierarchy.chain(8)[0]
+        assert hierarchy.chain(0)[1] is hierarchy.chain(3)[1]
+
+    def test_different_nodes_different_node_domains(self, hierarchy):
+        assert hierarchy.chain(0)[1] is not hierarchy.chain(4)[1]
+        assert hierarchy.chain(0)[2] is hierarchy.chain(4)[2]
+
+
+class TestOtherShapes:
+    def test_smt_off_drops_smt_level(self):
+        hierarchy = build_domains(Topology(MachineSpec.ibm_x445(smt=False)))
+        assert [d.name for d in hierarchy.chain(0)] == ["node", "top"]
+
+    def test_flat_smp_single_level(self):
+        hierarchy = build_domains(Topology(MachineSpec.smp(4)))
+        chain = hierarchy.chain(0)
+        assert [d.name for d in chain] == ["node"]
+        assert len(chain[0].groups) == 4
+
+    def test_single_cpu_has_empty_chain(self):
+        hierarchy = build_domains(Topology(MachineSpec.smp(1)))
+        assert hierarchy.chain(0) == ()
+        assert hierarchy.top_domain(0) is None
+
+    def test_cmp_adds_core_level(self):
+        """§7: extending to CMP is one more layer in the hierarchy."""
+        hierarchy = build_domains(
+            Topology(MachineSpec.cmp(packages=2, cores=2, smt=True))
+        )
+        assert [d.name for d in hierarchy.chain(0)] == ["smt", "core", "node"]
+
+    def test_cmp_core_domain_groups_cores(self):
+        hierarchy = build_domains(Topology(MachineSpec.cmp(packages=2, cores=2)))
+        core_domain = hierarchy.chain(0)[0]
+        assert core_domain.name == "core"
+        assert len(core_domain.groups) == 2
+
+    def test_top_domain_accessor(self):
+        hierarchy = build_domains(Topology(MachineSpec.ibm_x445()))
+        top = hierarchy.top_domain(5)
+        assert top is not None and top.name == "top"

@@ -1,0 +1,157 @@
+"""Unit tests for the vanilla pull-based load balancer."""
+
+import pytest
+
+from repro.cpu.topology import MachineSpec
+from repro.sched.load_balance import (
+    LoadBalanceConfig,
+    default_selector,
+    find_busiest_group,
+    find_busiest_queue,
+    group_load,
+    load_balance_pass,
+)
+from tests.conftest import Harness
+
+
+@pytest.fixture
+def smp4():
+    return Harness(MachineSpec.smp(4))
+
+
+class TestConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            LoadBalanceConfig(min_imbalance=0)
+        with pytest.raises(ValueError):
+            LoadBalanceConfig(max_moves_per_pass=0)
+
+
+class TestGroupSearch:
+    def test_group_load_averages_over_cpus(self, smp4):
+        smp4.add_task(0, 40.0)
+        smp4.add_task(0, 40.0)
+        domain = smp4.hierarchy.chain(1)[0]
+        local = domain.local_group(1)
+        busiest = find_busiest_group(domain, 1, smp4.runqueues)
+        assert busiest is not None
+        assert 0 in busiest
+        assert group_load(busiest, smp4.runqueues) == 2.0
+        assert group_load(local, smp4.runqueues) == 0.0
+
+    def test_no_busier_group_returns_none(self, smp4):
+        for cpu in range(4):
+            smp4.add_task(cpu, 40.0)
+        domain = smp4.hierarchy.chain(0)[0]
+        assert find_busiest_group(domain, 0, smp4.runqueues) is None
+
+    def test_local_group_never_returned(self, smp4):
+        smp4.add_task(0, 40.0)
+        smp4.add_task(0, 40.0)
+        domain = smp4.hierarchy.chain(0)[0]
+        assert find_busiest_group(domain, 0, smp4.runqueues) is None
+
+    def test_find_busiest_queue_breaks_ties_low_id(self, smp4):
+        smp4.add_task(1, 40.0)
+        smp4.add_task(2, 40.0)
+        domain = smp4.hierarchy.chain(0)[0]
+        group = find_busiest_group(domain, 0, smp4.runqueues)
+        rq = find_busiest_queue(group, smp4.runqueues) if group else None
+        # With per-CPU groups the busiest group is a single queue; build
+        # a two-CPU group case directly instead.
+        from repro.sched.domains import CpuGroup
+
+        rq = find_busiest_queue(CpuGroup((1, 2)), smp4.runqueues)
+        assert rq.cpu_id == 1
+
+
+class TestDefaultSelector:
+    def test_takes_from_tail(self, smp4):
+        a = smp4.add_task(0, 40.0)
+        b = smp4.add_task(0, 40.0)
+        c = smp4.add_task(0, 40.0)
+        picked = default_selector(smp4.runqueues[0], smp4.runqueues[1], 2)
+        assert list(picked) == [b, c]
+
+    def test_caps_at_queue_length(self, smp4):
+        a = smp4.add_task(0, 40.0)
+        picked = default_selector(smp4.runqueues[0], smp4.runqueues[1], 5)
+        assert list(picked) == [a]
+
+
+class TestLoadBalancePass:
+    def test_pulls_from_longest_queue(self, smp4):
+        for _ in range(4):
+            smp4.add_task(0, 40.0)
+        moved = load_balance_pass(
+            1, smp4.hierarchy, smp4.runqueues, migrate=lambda t, s, d: smp4.migrate(t, s, d)
+        )
+        assert moved == 2  # halves the 4-0 imbalance
+        assert smp4.runqueues[0].nr_running == 2
+        assert smp4.runqueues[1].nr_running == 2
+
+    def test_no_move_below_threshold(self, smp4):
+        smp4.add_task(0, 40.0)
+        smp4.add_task(0, 40.0)
+        smp4.add_task(1, 40.0)
+        moved = load_balance_pass(
+            1, smp4.hierarchy, smp4.runqueues, migrate=lambda t, s, d: smp4.migrate(t, s, d)
+        )
+        assert moved == 0
+
+    def test_idle_cpu_pulls_one_of_two(self, smp4):
+        smp4.add_task(0, 40.0)
+        smp4.add_task(0, 40.0)
+        moved = load_balance_pass(
+            2, smp4.hierarchy, smp4.runqueues, migrate=lambda t, s, d: smp4.migrate(t, s, d)
+        )
+        assert moved == 1
+        assert smp4.runqueues[0].nr_running == 1
+        assert smp4.runqueues[2].nr_running == 1
+
+    def test_never_moves_running_task(self, smp4):
+        running = smp4.add_task(0, 40.0, running=True)
+        smp4.add_task(0, 40.0)
+        smp4.add_task(0, 40.0)
+        load_balance_pass(
+            3, smp4.hierarchy, smp4.runqueues, migrate=lambda t, s, d: smp4.migrate(t, s, d)
+        )
+        assert running.cpu == 0
+        assert smp4.runqueues[0].current is running
+
+    def test_max_moves_cap(self, smp4):
+        for _ in range(8):
+            smp4.add_task(0, 40.0)
+        config = LoadBalanceConfig(max_moves_per_pass=1)
+        moved = load_balance_pass(
+            1, smp4.hierarchy, smp4.runqueues,
+            migrate=lambda t, s, d: smp4.migrate(t, s, d), config=config
+        )
+        assert moved == 1
+
+    def test_custom_selector_used(self, smp4):
+        hot = smp4.add_task(0, 60.0)
+        cool = smp4.add_task(0, 30.0)
+        smp4.add_task(0, 45.0)
+
+        def hottest(src, dst, n):
+            return sorted(src.queued_tasks(), key=lambda t: -t.profile_power_w)[:n]
+
+        load_balance_pass(
+            1, smp4.hierarchy, smp4.runqueues,
+            migrate=lambda t, s, d: smp4.migrate(t, s, d), selector=hottest
+        )
+        assert hot.cpu == 1
+
+    def test_hierarchical_pull_prefers_low_level(self):
+        """On the x445 the node-level domain resolves intra-node
+        imbalances; the top level only moves across nodes."""
+        h = Harness(MachineSpec.ibm_x445(smt=False))
+        for _ in range(4):
+            h.add_task(0, 40.0)  # CPU 0 is on node 0
+        load_balance_pass(
+            1, h.hierarchy, h.runqueues, migrate=lambda t, s, d: h.migrate(t, s, d)
+        )
+        # CPU 1 shares node 0 with CPU 0; pulls happen there.
+        assert h.runqueues[1].nr_running == 2
+        assert all(dst == 1 for (_, _, dst, _) in h.migrations)

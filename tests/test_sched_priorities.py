@@ -1,0 +1,175 @@
+"""Unit tests for nice levels, priority timeslices, and affinity masks.
+
+§3.3's premise — Linux gives longer timeslices to higher-priority
+tasks — and the resulting interaction with the variable-period
+exponential average."""
+
+import pytest
+
+from repro.api import run_simulation
+from repro.config import SystemConfig
+from repro.cpu.topology import MachineSpec
+from repro.sched.priorities import (
+    DEF_TIMESLICE_MS,
+    MIN_TIMESLICE_MS,
+    static_prio,
+    timeslice_ms,
+    validate_nice,
+)
+from repro.sched.task import Task
+from repro.workloads.generator import TaskSpec, WorkloadSpec
+from repro.workloads.programs import program
+from tests.conftest import make_behavior
+
+
+class TestStaticPrio:
+    def test_default_nice_is_120(self):
+        assert static_prio(0) == 120
+
+    def test_extremes(self):
+        assert static_prio(-20) == 100
+        assert static_prio(19) == 139
+
+    @pytest.mark.parametrize("bad", [-21, 20, 100])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            validate_nice(bad)
+
+
+class TestTimesliceFormula:
+    def test_nice_zero_gets_default(self):
+        assert timeslice_ms(0) == DEF_TIMESLICE_MS
+
+    def test_nice_minus_20_gets_double(self):
+        assert timeslice_ms(-20) == 2 * DEF_TIMESLICE_MS
+
+    def test_nice_19_gets_minimum(self):
+        assert timeslice_ms(19) == MIN_TIMESLICE_MS
+
+    def test_monotone_in_priority(self):
+        slices = [timeslice_ms(n) for n in range(-20, 20)]
+        assert slices == sorted(slices, reverse=True)
+
+    def test_scales_with_base(self):
+        assert timeslice_ms(0, base_timeslice_ms=200) == 200
+        assert timeslice_ms(-20, base_timeslice_ms=200) == 400
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(ValueError):
+            timeslice_ms(0, base_timeslice_ms=0)
+
+
+class TestTaskNiceAndAffinity:
+    def test_task_default_nice(self):
+        task = Task(1, "x", 1, make_behavior(), job_instructions=1e9)
+        assert task.nice == 0
+        assert task.cpus_allowed is None
+        assert task.allowed_on(0) and task.allowed_on(99)
+
+    def test_task_affinity_mask(self):
+        task = Task(1, "x", 1, make_behavior(), job_instructions=1e9,
+                    cpus_allowed=frozenset({1, 3}))
+        assert task.allowed_on(1)
+        assert not task.allowed_on(0)
+
+    def test_task_rejects_bad_nice(self):
+        with pytest.raises(ValueError):
+            Task(1, "x", 1, make_behavior(), job_instructions=1e9, nice=30)
+
+    def test_task_rejects_empty_mask(self):
+        with pytest.raises(ValueError):
+            Task(1, "x", 1, make_behavior(), job_instructions=1e9,
+                 cpus_allowed=frozenset())
+
+    def test_taskspec_validation(self):
+        with pytest.raises(ValueError):
+            TaskSpec(program=program("bitcnts"), nice=25)
+        with pytest.raises(ValueError):
+            TaskSpec(program=program("bitcnts"), cpus_allowed=())
+
+
+class TestPriorityScheduling:
+    def _run(self, nices, duration_s=12):
+        config = SystemConfig(
+            machine=MachineSpec.smp(1), max_power_per_cpu_w=100.0, seed=6
+        )
+        tasks = tuple(
+            TaskSpec(program=program("aluadd"), nice=n) for n in nices
+        )
+        wl = WorkloadSpec("prio", tasks)
+        return run_simulation(config, wl, policy="baseline",
+                              duration_s=duration_s)
+
+    def test_higher_priority_gets_more_cpu(self):
+        result = self._run([-10, 10])
+        fast, slow = result.system.live_tasks()
+        assert fast.nice == -10
+        # RR with timeslice(n=-10)=150 ms vs timeslice(n=10)=50 ms:
+        # the favoured task gets ~3x the CPU share.
+        assert fast.total_busy_s / slow.total_busy_s == pytest.approx(3.0, rel=0.15)
+
+    def test_equal_nice_equal_share(self):
+        result = self._run([5, 5])
+        a, b = result.system.live_tasks()
+        assert a.total_busy_s == pytest.approx(b.total_busy_s, rel=0.1)
+
+    def test_profiles_correct_despite_unequal_slices(self):
+        """The §3.3 point: the variable-period EWMA keeps profiles
+        accurate even when samples span very different durations."""
+        config = SystemConfig(
+            machine=MachineSpec.smp(1), max_power_per_cpu_w=100.0, seed=6
+        )
+        wl = WorkloadSpec(
+            "prio-mix",
+            (
+                TaskSpec(program=program("bitcnts"), nice=-15),
+                TaskSpec(program=program("memrw"), nice=15),
+            ),
+        )
+        result = run_simulation(config, wl, policy="baseline", duration_s=30)
+        hot, cool = result.system.live_tasks()
+        assert hot.profile_power_w == pytest.approx(61.0, rel=0.06)
+        assert cool.profile_power_w == pytest.approx(38.0, rel=0.06)
+
+
+class TestAffinityScheduling:
+    def test_pinned_task_stays_put(self):
+        config = SystemConfig(
+            machine=MachineSpec.smp(4), max_power_per_cpu_w=60.0, seed=6
+        )
+        wl = WorkloadSpec(
+            "pinned",
+            tuple(
+                TaskSpec(program=program("aluadd"), cpus_allowed=(3,))
+                for _ in range(3)
+            ),
+        )
+        result = run_simulation(config, wl, policy="baseline", duration_s=20)
+        # All three tasks pinned to CPU 3: the balancer must not touch
+        # them, even though CPUs 0-2 idle.
+        assert result.migrations() == 0
+        for task in result.system.live_tasks():
+            assert task.cpu == 3
+
+    def test_energy_policy_respects_affinity(self):
+        config = SystemConfig(
+            machine=MachineSpec.smp(2), max_power_per_cpu_w=40.0, seed=6
+        )
+        # A hot task pinned to CPU 0 would love to hot-migrate but cannot.
+        wl = WorkloadSpec(
+            "hot-pinned",
+            (TaskSpec(program=program("bitcnts"), cpus_allowed=(0,)),),
+        )
+        result = run_simulation(config, wl, policy="energy", duration_s=60)
+        assert result.migrations() == 0
+        assert result.system.live_tasks()[0].cpu == 0
+
+    def test_unpinned_twin_does_migrate(self):
+        config = SystemConfig(
+            machine=MachineSpec.smp(2), max_power_per_cpu_w=40.0, seed=6
+        )
+        wl = WorkloadSpec(
+            "hot-free", (TaskSpec(program=program("bitcnts")),)
+        )
+        result = run_simulation(config, wl, policy="energy", duration_s=60)
+        assert result.migrations() > 0

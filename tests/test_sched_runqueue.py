@@ -1,0 +1,138 @@
+"""Unit tests for per-CPU runqueues."""
+
+import pytest
+
+from repro.sched.runqueue import RunQueue
+from repro.sched.task import TaskState
+from tests.conftest import make_task
+
+
+class TestEnqueue:
+    def test_enqueue_sets_cpu_and_state(self):
+        rq = RunQueue(3)
+        task = make_task()
+        rq.enqueue(task)
+        assert task.cpu == 3
+        assert task.state is TaskState.READY
+        assert rq.nr_running == 1
+
+    def test_enqueue_rejects_foreign_task(self):
+        rq0, rq1 = RunQueue(0), RunQueue(1)
+        task = make_task()
+        rq0.enqueue(task)
+        with pytest.raises(ValueError, match="belongs"):
+            rq1.enqueue(task)
+
+    def test_idle_queue(self):
+        rq = RunQueue(0)
+        assert rq.is_idle
+        assert rq.nr_running == 0
+
+
+class TestPickNext:
+    def test_pick_from_empty_returns_none(self):
+        assert RunQueue(0).pick_next() is None
+
+    def test_pick_sets_running(self):
+        rq = RunQueue(0)
+        task = make_task()
+        rq.enqueue(task)
+        assert rq.pick_next() is task
+        assert task.state is TaskState.RUNNING
+        assert rq.current is task
+
+    def test_round_robin_rotation(self):
+        rq = RunQueue(0)
+        a, b, c = make_task(1), make_task(2), make_task(3)
+        for t in (a, b, c):
+            rq.enqueue(t)
+        order = [rq.pick_next() for _ in range(6)]
+        assert order == [a, b, c, a, b, c]
+
+    def test_single_task_keeps_running(self):
+        rq = RunQueue(0)
+        task = make_task()
+        rq.enqueue(task)
+        assert rq.pick_next() is task
+        assert rq.pick_next() is task
+
+    def test_nr_running_counts_current(self):
+        rq = RunQueue(0)
+        rq.enqueue(make_task(1))
+        rq.enqueue(make_task(2))
+        rq.pick_next()
+        assert rq.nr_running == 2
+
+
+class TestRemove:
+    def test_remove_queued_task(self):
+        rq = RunQueue(0)
+        a, b = make_task(1), make_task(2)
+        rq.enqueue(a)
+        rq.enqueue(b)
+        rq.remove(a)
+        assert a.cpu == -1
+        assert rq.nr_running == 1
+        assert a not in rq
+
+    def test_remove_current_task(self):
+        rq = RunQueue(0)
+        task = make_task()
+        rq.enqueue(task)
+        rq.pick_next()
+        rq.remove(task)
+        assert rq.current is None
+        assert rq.is_idle
+
+    def test_remove_absent_task_raises(self):
+        rq = RunQueue(0)
+        rq.enqueue(make_task(1))
+        stranger = make_task(2)
+        with pytest.raises(ValueError, match="not on runqueue"):
+            rq.remove(stranger)
+
+
+class TestDescheduleCurrent:
+    def test_deschedule_returns_task_without_requeue(self):
+        rq = RunQueue(0)
+        task = make_task()
+        rq.enqueue(task)
+        rq.pick_next()
+        out = rq.deschedule_current()
+        assert out is task
+        assert rq.current is None
+        # deschedule does not put it back in the queue
+        assert task in rq._queue or task not in rq  # noqa: SLF001 - explicit
+        assert rq.nr_running == 0
+
+    def test_deschedule_idle_returns_none(self):
+        assert RunQueue(0).deschedule_current() is None
+
+
+class TestIteration:
+    def test_tasks_yields_current_first(self):
+        rq = RunQueue(0)
+        a, b = make_task(1), make_task(2)
+        rq.enqueue(a)
+        rq.enqueue(b)
+        rq.pick_next()
+        assert list(rq.tasks()) == [a, b]
+
+    def test_queued_tasks_excludes_current(self):
+        rq = RunQueue(0)
+        a, b = make_task(1), make_task(2)
+        rq.enqueue(a)
+        rq.enqueue(b)
+        rq.pick_next()
+        assert rq.queued_tasks() == (b,)
+
+    def test_contains(self):
+        rq = RunQueue(0)
+        task = make_task()
+        rq.enqueue(task)
+        assert task in rq
+        rq.pick_next()
+        assert task in rq
+
+    def test_max_power_default_infinite(self):
+        assert RunQueue(0).max_power_w == float("inf")

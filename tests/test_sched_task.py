@@ -1,0 +1,76 @@
+"""Unit tests for the task structure."""
+
+import pytest
+
+from repro.sched.task import Task, TaskState
+from tests.conftest import make_behavior, make_task
+
+
+class TestTaskConstruction:
+    def test_initial_state(self):
+        task = make_task()
+        assert task.state is TaskState.READY
+        assert task.cpu == -1
+        assert task.jobs_completed == 0
+        assert task.migrations == 0
+        assert not task.first_timeslice_done
+
+    def test_rejects_non_positive_job_size(self):
+        with pytest.raises(ValueError):
+            Task(1, "x", 1, make_behavior(), job_instructions=0)
+
+    def test_profile_power_zero_without_profile(self):
+        task = Task(1, "x", 1, make_behavior(), job_instructions=1e9)
+        assert task.profile_power_w == 0.0
+
+    def test_profile_power_reads_profile(self):
+        task = make_task(power_w=47.0)
+        assert task.profile_power_w == pytest.approx(47.0)
+
+
+class TestJobAccounting:
+    def test_retire_partial_progress(self):
+        task = make_task(job_instructions=100.0)
+        assert not task.retire(60.0)
+        assert task.instructions_remaining == pytest.approx(40.0)
+        assert task.jobs_completed == 0
+
+    def test_retire_completes_job(self):
+        task = make_task(job_instructions=100.0)
+        assert task.retire(150.0)
+        assert task.jobs_completed == 1
+
+    def test_start_job_resets_progress(self):
+        task = make_task(job_instructions=100.0)
+        task.retire(150.0)
+        task.start_job()
+        assert task.instructions_remaining == pytest.approx(100.0)
+
+    def test_retire_rejects_negative(self):
+        with pytest.raises(ValueError):
+            make_task().retire(-1.0)
+
+    def test_multiple_jobs(self):
+        task = make_task(job_instructions=10.0)
+        for _ in range(3):
+            assert task.retire(10.0)
+            task.start_job()
+        assert task.jobs_completed == 3
+
+
+class TestTaskStates:
+    def test_is_runnable(self):
+        task = make_task()
+        assert task.is_runnable
+        task.state = TaskState.RUNNING
+        assert task.is_runnable
+        task.state = TaskState.BLOCKED
+        assert not task.is_runnable
+        task.state = TaskState.EXITED
+        assert not task.is_runnable
+
+    def test_repr_contains_identity(self):
+        task = make_task(pid=77, power_w=50.0, name="bitcnts")
+        text = repr(task)
+        assert "77" in text
+        assert "bitcnts" in text

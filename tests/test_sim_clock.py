@@ -1,0 +1,75 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.sim.clock import Clock
+
+
+class TestClockBasics:
+    def test_starts_at_zero(self):
+        clock = Clock(tick_ms=10)
+        assert clock.ticks == 0
+        assert clock.now_ms == 0
+        assert clock.now_s == 0.0
+
+    def test_advance_increments_tick_count(self):
+        clock = Clock(tick_ms=10)
+        assert clock.advance() == 1
+        assert clock.advance() == 2
+        assert clock.ticks == 2
+
+    def test_now_ms_tracks_ticks(self):
+        clock = Clock(tick_ms=10)
+        for _ in range(7):
+            clock.advance()
+        assert clock.now_ms == 70
+
+    def test_now_s_is_ms_over_1000(self):
+        clock = Clock(tick_ms=25)
+        for _ in range(4):
+            clock.advance()
+        assert clock.now_s == pytest.approx(0.1)
+
+    def test_tick_s(self):
+        assert Clock(tick_ms=10).tick_s == pytest.approx(0.01)
+        assert Clock(tick_ms=1).tick_s == pytest.approx(0.001)
+
+    def test_custom_tick_length(self):
+        clock = Clock(tick_ms=1)
+        clock.advance()
+        assert clock.now_ms == 1
+
+    def test_no_float_drift_over_long_runs(self):
+        clock = Clock(tick_ms=10)
+        for _ in range(360_000):  # one simulated hour
+            clock.advance()
+        assert clock.now_ms == 3_600_000
+        assert clock.now_s == pytest.approx(3600.0, abs=0)
+
+    def test_repr_mentions_time(self):
+        clock = Clock(tick_ms=10)
+        assert "tick_ms=10" in repr(clock)
+
+
+class TestClockValidation:
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_rejects_non_positive_tick(self, bad):
+        with pytest.raises(ValueError):
+            Clock(tick_ms=bad)
+
+
+class TestTicksForMs:
+    def test_exact_multiple(self):
+        assert Clock(tick_ms=10).ticks_for_ms(100) == 10
+
+    def test_rounds_up(self):
+        assert Clock(tick_ms=10).ticks_for_ms(101) == 11
+        assert Clock(tick_ms=10).ticks_for_ms(109.5) == 11
+
+    def test_minimum_one_tick(self):
+        assert Clock(tick_ms=10).ticks_for_ms(1) == 1
+
+    @pytest.mark.parametrize("bad", [0, -5])
+    def test_rejects_non_positive_duration(self, bad):
+        with pytest.raises(ValueError):
+            Clock(tick_ms=10).ticks_for_ms(bad)

@@ -1,0 +1,142 @@
+"""Unit tests for tracing: time series, events, counters."""
+
+import numpy as np
+import pytest
+
+from repro.sim.events import EventKind, EventRecord
+from repro.sim.trace import CounterSet, TimeSeries, Tracer
+
+
+class TestTimeSeries:
+    def test_append_and_length(self):
+        s = TimeSeries("x")
+        s.append(0.0, 1.0)
+        s.append(1.0, 2.0)
+        assert len(s) == 2
+
+    def test_numpy_export(self):
+        s = TimeSeries("x")
+        s.append(0.0, 1.0)
+        s.append(0.5, 3.0)
+        np.testing.assert_allclose(s.times, [0.0, 0.5])
+        np.testing.assert_allclose(s.values, [1.0, 3.0])
+
+    def test_last_and_mean(self):
+        s = TimeSeries("x")
+        s.append(0.0, 2.0)
+        s.append(1.0, 4.0)
+        assert s.last() == 4.0
+        assert s.mean() == pytest.approx(3.0)
+
+    def test_last_on_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            TimeSeries("x").last()
+
+    def test_mean_on_empty_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x").mean()
+
+
+class TestCounterSet:
+    def test_defaults_to_zero(self):
+        assert CounterSet().get("missing") == 0
+
+    def test_add_accumulates(self):
+        c = CounterSet()
+        c.add("migrations")
+        c.add("migrations", 2)
+        assert c.get("migrations") == 3
+
+    def test_as_dict_snapshot(self):
+        c = CounterSet()
+        c.add("a")
+        snapshot = c.as_dict()
+        c.add("a")
+        assert snapshot == {"a": 1}
+
+
+class TestTracerSeries:
+    def test_sample_creates_series(self):
+        tracer = Tracer(sample_interval_s=0.0)
+        tracer.sample("power", 0.0, 10.0)
+        assert tracer.get_series("power").last() == 10.0
+
+    def test_decimation_drops_dense_samples(self):
+        tracer = Tracer(sample_interval_s=1.0)
+        for i in range(100):
+            tracer.sample("x", i * 0.1, float(i))
+        series = tracer.get_series("x")
+        # 10 samples/s decimated to ~1/s.
+        assert len(series) <= 11
+
+    def test_zero_interval_records_everything(self):
+        tracer = Tracer(sample_interval_s=0.0)
+        for i in range(50):
+            tracer.sample("x", i * 0.01, float(i))
+        assert len(tracer.get_series("x")) == 50
+
+    def test_unknown_series_raises_with_available_names(self):
+        tracer = Tracer()
+        tracer.sample("known", 0.0, 1.0)
+        with pytest.raises(KeyError, match="known"):
+            tracer.get_series("unknown")
+
+    def test_series_matching_prefix_sorted(self):
+        tracer = Tracer(sample_interval_s=0.0)
+        for name in ("thermal.cpu02", "thermal.cpu00", "thermal.cpu01", "temp.pkg0"):
+            tracer.sample(name, 0.0, 1.0)
+        matched = tracer.series_matching("thermal.")
+        assert [s.name for s in matched] == [
+            "thermal.cpu00",
+            "thermal.cpu01",
+            "thermal.cpu02",
+        ]
+
+
+class TestMigrationReasons:
+    def test_reason_strings_match_the_enum(self):
+        """Every reason string the policies emit is a declared
+        MigrationReason — guards against typo'd counter keys."""
+        from repro.api import run_simulation
+        from repro.config import SystemConfig
+        from repro.cpu.topology import MachineSpec
+        from repro.sim.events import MigrationReason
+        from repro.workloads.generator import mixed_table2_workload
+
+        config = SystemConfig(
+            machine=MachineSpec.smp(4), max_power_per_cpu_w=45.0, seed=9
+        )
+        result = run_simulation(
+            config, mixed_table2_workload(2), policy="energy", duration_s=30
+        )
+        valid = {r.value for r in MigrationReason}
+        seen = {e.detail["reason"] for e in result.migration_events()}
+        assert seen  # the scenario migrates
+        assert seen <= valid
+
+
+class TestTracerEvents:
+    def test_event_recording_and_filtering(self):
+        tracer = Tracer()
+        tracer.event(EventRecord(0, EventKind.MIGRATION, cpu=1, pid=2))
+        tracer.event(EventRecord(5, EventKind.TASK_EXIT, cpu=1, pid=2))
+        tracer.event(EventRecord(9, EventKind.MIGRATION, cpu=0, pid=3))
+        assert len(tracer.events_of(EventKind.MIGRATION)) == 2
+        assert len(tracer.events_of(EventKind.TASK_EXIT)) == 1
+
+    def test_count_events_with_predicate(self):
+        tracer = Tracer()
+        for cpu in (0, 1, 1, 2):
+            tracer.event(EventRecord(0, EventKind.THROTTLE_ON, cpu=cpu))
+        assert tracer.count_events(EventKind.THROTTLE_ON) == 4
+        assert tracer.count_events(EventKind.THROTTLE_ON, lambda e: e.cpu == 1) == 2
+
+    def test_event_detail_round_trip(self):
+        tracer = Tracer()
+        tracer.event(
+            EventRecord(1, EventKind.MIGRATION, cpu=4, pid=9,
+                        detail={"src": 2, "reason": "hot_task"})
+        )
+        event = tracer.events_of(EventKind.MIGRATION)[0]
+        assert event.detail["src"] == 2
+        assert event.detail["reason"] == "hot_task"

@@ -1,0 +1,243 @@
+"""Integration tests for the full simulated system."""
+
+import pytest
+
+from repro.api import run_simulation
+from repro.config import SystemConfig
+from repro.cpu.thermal import ThermalParams
+from repro.cpu.throttle import ThrottleConfig
+from repro.cpu.topology import MachineSpec
+from repro.sim.events import EventKind
+from repro.workloads.generator import (
+    TaskSpec,
+    WorkloadSpec,
+    mixed_table2_workload,
+    n_copies,
+    single_program_workload,
+)
+from repro.workloads.programs import program
+
+
+def smp_config(n=4, **kwargs):
+    defaults = dict(
+        machine=MachineSpec.smp(n), max_power_per_cpu_w=60.0, seed=42,
+        sample_interval_s=0.5,
+    )
+    defaults.update(kwargs)
+    return SystemConfig(**defaults)
+
+
+class TestExecutionBasics:
+    def test_single_task_makes_progress(self):
+        result = run_simulation(
+            smp_config(1), single_program_workload("bitcnts", 1), duration_s=5
+        )
+        task = result.system.live_tasks()[0]
+        assert task.total_busy_s == pytest.approx(5.0, rel=0.02)
+        assert task.instructions_remaining < task.job_instructions
+
+    def test_profile_converges_to_program_power(self):
+        result = run_simulation(
+            smp_config(1), single_program_workload("bitcnts", 1), duration_s=10
+        )
+        task = result.system.live_tasks()[0]
+        assert task.profile_power_w == pytest.approx(61.0, rel=0.05)
+
+    def test_two_tasks_share_one_cpu(self):
+        wl = WorkloadSpec("pair", tuple(n_copies("aluadd", 2)))
+        result = run_simulation(smp_config(1), wl, duration_s=10)
+        tasks = result.system.live_tasks()
+        shares = [t.total_busy_s for t in tasks]
+        assert sum(shares) == pytest.approx(10.0, rel=0.02)
+        assert shares[0] == pytest.approx(shares[1], rel=0.1)
+
+    def test_jobs_complete_and_respawn(self):
+        wl = WorkloadSpec(
+            "quick", (TaskSpec(program=program("aluadd"), solo_job_s=1.0),)
+        )
+        result = run_simulation(smp_config(1), wl, duration_s=10)
+        assert result.jobs_completed >= 8
+
+    def test_fork_new_respawn_creates_new_pids(self):
+        wl = WorkloadSpec(
+            "storm",
+            (TaskSpec(program=program("aluadd"), solo_job_s=0.5, respawn="fork_new"),),
+        )
+        result = run_simulation(smp_config(2), wl, duration_s=10)
+        assert len(result.system.exited_tasks) >= 15
+        pids = [t.pid for t in result.system.exited_tasks]
+        assert len(set(pids)) == len(pids)
+
+    def test_respawn_none_runs_once(self):
+        wl = WorkloadSpec(
+            "oneshot",
+            (TaskSpec(program=program("aluadd"), solo_job_s=1.0, respawn="none"),),
+        )
+        result = run_simulation(smp_config(1), wl, duration_s=5)
+        assert result.jobs_completed == 1
+        assert len(result.system.exited_tasks) == 1
+        assert not result.system.live_tasks()
+
+    def test_arrival_time_respected(self):
+        wl = WorkloadSpec(
+            "late", (TaskSpec(program=program("aluadd"), arrival_s=3.0),)
+        )
+        result = run_simulation(smp_config(1), wl, duration_s=5)
+        task = result.system.live_tasks()[0]
+        assert task.total_busy_s == pytest.approx(2.0, rel=0.1)
+
+
+class TestInteractiveTasks:
+    def test_interactive_task_blocks_and_wakes(self):
+        wl = single_program_workload("bash", 1)
+        result = run_simulation(smp_config(1), wl, duration_s=20)
+        blocks = result.tracer.events_of(EventKind.TASK_BLOCK)
+        wakes = result.tracer.events_of(EventKind.TASK_WAKE)
+        assert len(blocks) >= 5
+        assert len(wakes) >= 4
+        task = result.system.live_tasks()[0]
+        # bash runs/blocks ~50/50.
+        assert 0.3 < task.total_busy_s / 20.0 < 0.7
+
+    def test_blocked_time_does_not_advance_job(self):
+        wl = single_program_workload("bash", 1)
+        result = run_simulation(smp_config(1), wl, duration_s=10)
+        task = result.system.live_tasks()[0]
+        expected = 2.2e9 * program("bash").ipc * task.total_busy_s
+        done = task.job_instructions - task.instructions_remaining
+        total = done + task.jobs_completed * task.job_instructions
+        assert total == pytest.approx(expected, rel=0.05)
+
+
+class TestSchedulingMachinery:
+    def test_timeslices_rotate_round_robin(self):
+        wl = WorkloadSpec("trio", tuple(n_copies("aluadd", 3)))
+        result = run_simulation(smp_config(1), wl, duration_s=9)
+        shares = [t.total_busy_s for t in result.system.live_tasks()]
+        for share in shares:
+            assert share == pytest.approx(3.0, rel=0.1)
+
+    def test_load_balancer_spreads_tasks(self):
+        wl = WorkloadSpec("bulk", tuple(n_copies("aluadd", 8)))
+        result = run_simulation(
+            smp_config(4), wl, policy="baseline", duration_s=10
+        )
+        lengths = [rq.nr_running for rq in result.system.runqueues.values()]
+        assert lengths == [2, 2, 2, 2]
+
+    def test_idle_cpu_pulls_work(self):
+        config = smp_config(2)
+        wl = WorkloadSpec("two", tuple(n_copies("aluadd", 2)))
+        result = run_simulation(config, wl, policy="baseline", duration_s=10)
+        busy = [t.total_busy_s for t in result.system.live_tasks()]
+        # Both tasks should end up on their own CPU and run ~100 %.
+        assert min(busy) > 8.0
+
+    def test_migration_counter_matches_events(self):
+        config = SystemConfig(
+            machine=MachineSpec.ibm_x445(smt=False), max_power_per_cpu_w=60.0,
+            seed=3,
+        )
+        result = run_simulation(
+            config, mixed_table2_workload(3), policy="energy", duration_s=60
+        )
+        assert result.migrations() == len(result.migration_events())
+        per_reason = sum(
+            result.migrations(r)
+            for r in ("load_balance", "energy_balance", "hot_task", "exchange",
+                       "placement")
+        )
+        assert per_reason == result.migrations()
+
+
+class TestThermalAndThrottling:
+    def test_thermal_power_tracks_run_state(self):
+        # Limit above bitcnts' 61 W so hot-task migration never fires.
+        result = run_simulation(
+            smp_config(2, max_power_per_cpu_w=100.0),
+            single_program_workload("bitcnts", 1),
+            duration_s=120,
+        )
+        task = result.system.live_tasks()[0]
+        busy_cpu = task.cpu
+        idle_cpu = 1 - busy_cpu
+        assert result.thermal_power_series(busy_cpu).last() == pytest.approx(
+            61.0, rel=0.05
+        )
+        assert result.thermal_power_series(idle_cpu).last() < 15.0
+
+    def test_temperature_rises_toward_steady_state(self):
+        config = smp_config(1, thermal=ThermalParams(r_k_per_w=0.3, c_j_per_k=66.7))
+        result = run_simulation(
+            config, single_program_workload("bitcnts", 1), duration_s=150
+        )
+        # Steady state for 61 W at R=0.3: 25 + 18.3 = 43.3 C.
+        assert result.temperature_series(0).last() == pytest.approx(43.3, abs=1.0)
+
+    def test_estimation_error_under_ten_percent(self):
+        """§3.2's headline accuracy claim, measured in vivo."""
+        config = SystemConfig(
+            machine=MachineSpec.ibm_x445(smt=False), max_power_per_cpu_w=60.0,
+            seed=5,
+        )
+        result = run_simulation(
+            config, mixed_table2_workload(3), duration_s=60
+        )
+        assert result.estimation_error() < 0.10
+
+    def test_temperature_estimate_error_under_one_kelvin(self):
+        """§4.2: estimating energy then temperature errs < 1 K."""
+        config = SystemConfig(
+            machine=MachineSpec.ibm_x445(smt=False), max_power_per_cpu_w=60.0,
+            seed=5,
+        )
+        result = run_simulation(config, mixed_table2_workload(3), duration_s=120)
+        assert result.max_temperature_error_k < 1.0
+
+    def test_throttling_caps_thermal_power(self):
+        config = smp_config(
+            1, max_power_per_cpu_w=40.0,
+            throttle=ThrottleConfig(enabled=True),
+        )
+        result = run_simulation(
+            config, single_program_workload("bitcnts", 1), duration_s=120
+        )
+        assert result.throttle_fraction(0) > 0.2
+        # Thermal power held near the 40 W limit, not bitcnts' 61 W.
+        assert result.thermal_power_series(0).last() < 42.0
+
+    def test_throttling_disabled_by_default(self):
+        result = run_simulation(
+            smp_config(1, max_power_per_cpu_w=40.0),
+            single_program_workload("bitcnts", 1),
+            duration_s=30,
+        )
+        assert result.throttle_fraction(0) == 0.0
+
+
+class TestDeterminism:
+    def test_same_seed_identical_results(self):
+        config = smp_config(4, seed=77)
+        wl = mixed_table2_workload(1)
+        a = run_simulation(config, wl, policy="energy", duration_s=30)
+        b = run_simulation(config, wl, policy="energy", duration_s=30)
+        assert a.fractional_jobs() == b.fractional_jobs()
+        assert a.migrations() == b.migrations()
+        assert a.thermal_power_series(0).values.tolist() == \
+            b.thermal_power_series(0).values.tolist()
+
+    def test_different_seed_differs(self):
+        wl = mixed_table2_workload(1)
+        a = run_simulation(smp_config(4, seed=1), wl, duration_s=30)
+        b = run_simulation(smp_config(4, seed=2), wl, duration_s=30)
+        assert a.thermal_power_series(0).values.tolist() != \
+            b.thermal_power_series(0).values.tolist()
+
+
+class TestSystemValidation:
+    def test_unknown_policy_rejected(self):
+        from repro.system import System
+
+        with pytest.raises(ValueError, match="policy"):
+            System(smp_config(1), single_program_workload("bitcnts", 1),
+                   policy="quantum")

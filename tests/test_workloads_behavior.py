@@ -1,0 +1,188 @@
+"""Unit tests for behaviour phase machines."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.cpu.events import N_EVENTS
+from repro.workloads.behavior import (
+    AlternatingBehavior,
+    CyclicBehavior,
+    InstructionMix,
+    PhaseSpec,
+    SpikyBehavior,
+    StaticBehavior,
+)
+
+
+def mix(scale: float, label: str = "m") -> InstructionMix:
+    return InstructionMix(np.full(N_EVENTS, scale), ipc=1.0, label=label)
+
+
+def phase(scale: float, duration: float = 1.0, label: str = "p") -> PhaseSpec:
+    return PhaseSpec(mix=mix(scale, label), mean_duration_s=duration,
+                     duration_jitter=0.0)
+
+
+class TestInstructionMix:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InstructionMix(np.ones(3), ipc=1.0)
+        with pytest.raises(ValueError):
+            InstructionMix(-np.ones(N_EVENTS), ipc=1.0)
+        with pytest.raises(ValueError):
+            InstructionMix(np.ones(N_EVENTS), ipc=0.0)
+
+
+class TestPhaseSpec:
+    def test_duration_sampling_with_jitter(self):
+        spec = PhaseSpec(mix(1.0), mean_duration_s=10.0, duration_jitter=0.2)
+        rng = random.Random(0)
+        durations = [spec.sample_duration(rng) for _ in range(200)]
+        assert np.mean(durations) == pytest.approx(10.0, rel=0.1)
+        assert min(durations) >= 1.0  # floored at 10 % of the mean
+
+    def test_zero_jitter_exact(self):
+        spec = PhaseSpec(mix(1.0), mean_duration_s=5.0, duration_jitter=0.0)
+        assert spec.sample_duration(random.Random(0)) == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(mix(1.0), mean_duration_s=0.0)
+        with pytest.raises(ValueError):
+            PhaseSpec(mix(1.0), mean_duration_s=1.0, duration_jitter=1.0)
+
+
+class TestStaticBehavior:
+    def test_stays_in_phase_forever(self):
+        behavior = StaticBehavior(phase(1.0), random.Random(0), wobble_sigma=0.0)
+        for _ in range(100):
+            out = behavior.step(0.5)
+            np.testing.assert_allclose(out.rates_per_cycle, 1.0)
+        assert behavior.phase_changes == 0
+
+    def test_wobble_varies_rates(self):
+        behavior = StaticBehavior(
+            phase(1.0), random.Random(1), wobble_sigma=0.05, wobble_interval_s=0.1
+        )
+        seen = {behavior.step(0.1).rates_per_cycle[0] for _ in range(50)}
+        assert len(seen) > 10
+
+    def test_wobble_constant_within_interval(self):
+        behavior = StaticBehavior(
+            phase(1.0), random.Random(1), wobble_sigma=0.05, wobble_interval_s=1.0
+        )
+        first = behavior.step(0.1).rates_per_cycle[0]
+        second = behavior.step(0.1).rates_per_cycle[0]
+        assert first == second
+
+    def test_rejects_negative_step(self):
+        behavior = StaticBehavior(phase(1.0), random.Random(0))
+        with pytest.raises(ValueError):
+            behavior.step(-0.1)
+
+
+class TestCyclicBehavior:
+    def test_rotates_in_order(self):
+        phases = [phase(1.0, 1.0, "a"), phase(2.0, 1.0, "b"), phase(3.0, 1.0, "c")]
+        behavior = CyclicBehavior(phases, random.Random(0), wobble_sigma=0.0)
+        labels = []
+        for _ in range(60):
+            labels.append(behavior.step(0.1).label)
+        # 1 s phases, 0.1 s steps: blocks of ~10 then wrap-around.
+        assert labels[0] == "a"
+        assert "b" in labels and "c" in labels
+        first_b = labels.index("b")
+        first_c = labels.index("c")
+        assert first_b < first_c
+        assert labels[first_c + 12] == "a"  # wrapped
+
+    def test_phase_change_counter(self):
+        phases = [phase(1.0, 0.5, "a"), phase(2.0, 0.5, "b")]
+        behavior = CyclicBehavior(phases, random.Random(0), wobble_sigma=0.0)
+        for _ in range(40):
+            behavior.step(0.1)
+        assert behavior.phase_changes >= 6
+
+
+class TestAlternatingBehavior:
+    def test_requires_exactly_two(self):
+        with pytest.raises(ValueError):
+            AlternatingBehavior([phase(1.0)], random.Random(0))
+        with pytest.raises(ValueError):
+            AlternatingBehavior(
+                [phase(1.0), phase(2.0), phase(3.0)], random.Random(0)
+            )
+
+    def test_alternates(self):
+        behavior = AlternatingBehavior(
+            [phase(1.0, 0.3, "x"), phase(2.0, 0.3, "y")],
+            random.Random(0),
+            wobble_sigma=0.0,
+        )
+        labels = [behavior.step(0.1).label for _ in range(30)]
+        transitions = [
+            (a, b) for a, b in zip(labels, labels[1:]) if a != b
+        ]
+        assert all({a, b} == {"x", "y"} for a, b in transitions)
+        assert len(transitions) >= 4
+
+
+class TestSpikyBehavior:
+    def test_returns_to_base_after_spike(self):
+        behavior = SpikyBehavior(
+            [phase(1.0, 0.2, "base"), phase(5.0, 0.1, "spike")],
+            random.Random(3),
+            spike_probability=1.0,  # spike after every base dwell
+            wobble_sigma=0.0,
+        )
+        labels = [behavior.step(0.1).label for _ in range(40)]
+        assert "spike" in labels
+        # Every spike is followed by base, never spike -> spike.
+        for a, b in zip(labels, labels[1:]):
+            if a == "spike" and b != "spike":
+                assert b == "base"
+
+    def test_zero_probability_never_spikes(self):
+        behavior = SpikyBehavior(
+            [phase(1.0, 0.2, "base"), phase(5.0, 0.1, "spike")],
+            random.Random(3),
+            spike_probability=0.0,
+            wobble_sigma=0.0,
+        )
+        labels = {behavior.step(0.1).label for _ in range(100)}
+        assert labels == {"base"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpikyBehavior([phase(1.0)], random.Random(0))
+        with pytest.raises(ValueError):
+            SpikyBehavior(
+                [phase(1.0), phase(2.0)], random.Random(0), spike_probability=1.5
+            )
+
+
+class TestBehaviorValidation:
+    def test_needs_phases(self):
+        with pytest.raises(ValueError):
+            CyclicBehavior([], random.Random(0))
+
+    def test_rejects_bad_wobble(self):
+        with pytest.raises(ValueError):
+            StaticBehavior(phase(1.0), random.Random(0), wobble_sigma=-0.1)
+        with pytest.raises(ValueError):
+            StaticBehavior(phase(1.0), random.Random(0), wobble_interval_s=0.0)
+
+    def test_determinism_per_seed(self):
+        def run(seed):
+            behavior = SpikyBehavior(
+                [phase(1.0, 0.2), phase(5.0, 0.1)],
+                random.Random(seed),
+                spike_probability=0.3,
+                wobble_sigma=0.02,
+            )
+            return [behavior.step(0.1).rates_per_cycle[0] for _ in range(50)]
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)

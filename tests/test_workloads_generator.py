@@ -1,0 +1,117 @@
+"""Unit tests for workload scenario builders."""
+
+import pytest
+
+from repro.workloads.generator import (
+    TaskSpec,
+    WorkloadSpec,
+    homogeneity_scenario,
+    homogeneity_sweep,
+    mixed_table2_workload,
+    n_copies,
+    short_task_storm,
+    single_program_workload,
+)
+from repro.workloads.programs import program
+
+
+class TestTaskSpec:
+    def test_defaults(self):
+        spec = TaskSpec(program=program("bitcnts"))
+        assert spec.arrival_s == 0.0
+        assert spec.respawn == "restart_same"
+
+    def test_job_instructions_uses_override(self):
+        spec = TaskSpec(program=program("bitcnts"), solo_job_s=0.5)
+        expected = 2.2e9 * program("bitcnts").ipc * 0.5
+        assert spec.job_instructions(2.2e9) == pytest.approx(expected)
+
+    def test_job_instructions_defaults_to_program(self):
+        spec = TaskSpec(program=program("memrw"))
+        expected = 2.2e9 * program("memrw").ipc * 30.0
+        assert spec.job_instructions(2.2e9) == pytest.approx(expected)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(arrival_s=-1.0), dict(solo_job_s=0.0), dict(respawn="clone")],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TaskSpec(program=program("bitcnts"), **kwargs)
+
+
+class TestWorkloadSpec:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="empty", tasks=())
+
+    def test_program_counts(self):
+        wl = mixed_table2_workload(2)
+        counts = wl.program_counts()
+        assert counts["bitcnts"] == 2
+        assert sum(counts.values()) == 12
+
+
+class TestBuilders:
+    def test_n_copies(self):
+        tasks = n_copies("memrw", 3)
+        assert len(tasks) == 3
+        assert all(t.program.name == "memrw" for t in tasks)
+
+    def test_n_copies_zero(self):
+        assert n_copies("memrw", 0) == []
+
+    def test_mixed_table2_is_paper_shape(self):
+        """§6.1: six programs, three instances each = 18 tasks."""
+        wl = mixed_table2_workload(3)
+        assert len(wl) == 18
+        assert set(wl.program_counts()) == {
+            "bitcnts", "memrw", "aluadd", "pushpop", "openssl", "bzip2",
+        }
+        assert all(n == 3 for n in wl.program_counts().values())
+
+    def test_smt_variant_36_tasks(self):
+        assert len(mixed_table2_workload(6)) == 36
+
+    def test_single_program_workload(self):
+        wl = single_program_workload("bitcnts", 4)
+        assert len(wl) == 4
+        assert wl.program_counts() == {"bitcnts": 4}
+
+
+class TestHomogeneitySweep:
+    def test_scenario_name_and_counts(self):
+        wl = homogeneity_scenario(8, 2, 8)
+        assert wl.name == "8/2/8"
+        assert wl.program_counts() == {"memrw": 8, "pushpop": 2, "bitcnts": 8}
+
+    def test_sweep_covers_paper_scenarios(self):
+        """Figure 8's x axis: 9/0/9, 8/2/8, ..., 1/16/1, 0/18/0."""
+        sweep = homogeneity_sweep(18)
+        names = [wl.name for wl in sweep]
+        assert names[0] == "9/0/9"
+        assert "8/2/8" in names
+        assert names[-1] == "0/18/0"
+        assert len(sweep) == 10
+        assert all(len(wl) == 18 for wl in sweep)
+
+    def test_sweep_rejects_odd_total(self):
+        with pytest.raises(ValueError):
+            homogeneity_sweep(17)
+
+
+class TestShortTaskStorm:
+    def test_short_jobs_fork_new(self):
+        wl = short_task_storm(total_slots=18, job_s=0.6)
+        assert len(wl) == 18
+        assert all(t.respawn == "fork_new" for t in wl.tasks)
+        assert all(t.solo_job_s == 0.6 for t in wl.tasks)
+
+    def test_program_rotation(self):
+        wl = short_task_storm(total_slots=6)
+        names = [t.program.name for t in wl.tasks]
+        assert len(set(names)) == 6
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ValueError):
+            short_task_storm(total_slots=0)

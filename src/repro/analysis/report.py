@@ -42,6 +42,29 @@ def _fmt(cell: object) -> str:
     return str(cell)
 
 
+def format_scalar_summaries(summaries, title: str | None = None) -> str:
+    """Render seed-replication aggregates as a mean ± CI table.
+
+    ``summaries`` is the output of
+    :func:`repro.analysis.stats.summarize_scalars`; formatting is fully
+    deterministic, so a sweep's aggregate block is byte-identical for
+    any worker count.
+    """
+    rows = [
+        [s.name, s.n, _sig(s.mean), _sig(s.std), f"±{_sig(s.ci95_half)}"]
+        for s in summaries
+    ]
+    return format_table(["metric", "n", "mean", "std", "95% CI"], rows,
+                        title=title)
+
+
+def _sig(value: float) -> str:
+    """Fixed significant-digit float rendering for aggregate tables."""
+    if value == 0:
+        return "0"
+    return f"{value:.4g}"
+
+
 def task_table(result, include_exited: bool = False) -> str:
     """Per-task accounting table for a finished run.
 

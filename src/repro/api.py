@@ -114,6 +114,25 @@ class SimulationResult:
     def tracer(self) -> Tracer:
         return self.system.tracer
 
+    # -- structured summary ---------------------------------------------------
+    def scalar_summary(self) -> dict[str, float]:
+        """The headline metrics as one flat float-valued dict.
+
+        This is the shape the parallel runner caches and the sweep
+        aggregator folds across seeds (``repro.analysis.stats
+        .summarize_scalars``); richer nested detail lives in
+        :func:`repro.analysis.export.run_summary`.
+        """
+        return {
+            "fractional_jobs": self.fractional_jobs(),
+            "jobs_per_min": self.throughput_jobs_per_min(),
+            "migrations": float(self.migrations()),
+            "average_throttle_fraction": self.average_throttle_fraction(),
+            "average_utilization": self.average_utilization(),
+            "mean_wake_latency_ms": self.mean_wake_latency_ms(),
+            "max_temperature_c": self.max_temperature_c,
+        }
+
 
 def run_simulation(
     config: SystemConfig,
@@ -149,6 +168,20 @@ class PolicyComparison:
     @property
     def migration_increase(self) -> tuple[int, int]:
         return self.baseline.migrations(), self.energy_aware.migrations()
+
+    def scalar_summary(self) -> dict[str, float]:
+        """Both runs' headline metrics plus the gain, as one flat dict.
+
+        Baseline metrics are prefixed ``baseline_``, energy-aware ones
+        ``energy_`` — the A/B analogue of
+        :meth:`SimulationResult.scalar_summary`.
+        """
+        out = {"throughput_gain": self.throughput_gain}
+        for prefix, result in (("baseline", self.baseline),
+                               ("energy", self.energy_aware)):
+            for key, value in result.scalar_summary().items():
+                out[f"{prefix}_{key}"] = value
+        return out
 
 
 def compare_policies(

@@ -3,14 +3,55 @@
     python -m repro list
     python -m repro run fig9
     python -m repro run table3 --duration 600 --seed 42
+    python -m repro sweep fig6-7 --seeds 1..10 --workers 4
+    python -m repro batch grid.json --workers 4
+
+``sweep`` and ``batch`` print deterministic results (per-seed scalars
+and the mean ± CI aggregate) on stdout; progress, wall-clock, and cache
+hit/miss accounting go to stderr, so redirected output is byte-stable
+across worker counts and cache states.
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
+import json
 import sys
 
 from repro.experiments import REGISTRY, run_experiment
+
+
+def _positive_duration(text: str) -> float:
+    """Argparse type for ``--duration``: a finite, strictly positive float."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid duration {text!r}: not a number"
+        ) from None
+    if not value > 0 or value != value or value == float("inf"):
+        raise argparse.ArgumentTypeError(
+            f"invalid duration {text!r}: must be a positive number of seconds"
+        )
+    return value
+
+
+def _add_runner_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes (1 = serial, the default)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache entirely")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache directory (default: $REPRO_CACHE_DIR "
+                             "or .repro_cache)")
+    parser.add_argument("--timeout", type=_positive_duration, default=None,
+                        metavar="SECONDS",
+                        help="per-job wall-clock timeout (parallel runs only)")
+    parser.add_argument("--retries", type=int, default=1, metavar="N",
+                        help="re-submissions after a job fails (default: 1)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of tables")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -26,9 +67,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list the registered experiments")
 
     run = sub.add_parser("run", help="run one experiment and print its report")
-    run.add_argument("experiment", choices=sorted(REGISTRY),
-                     help="experiment name")
-    run.add_argument("--duration", type=float, default=None, metavar="SECONDS",
+    run.add_argument("experiment", help="experiment name (see 'list')")
+    run.add_argument("--duration", type=_positive_duration, default=None,
+                     metavar="SECONDS",
                      help="simulated duration (default: a quick-look value)")
     run.add_argument("--seed", type=int, default=None,
                      help="root random seed (default: the committed one)")
@@ -41,14 +82,185 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce = sub.add_parser(
         "reproduce", help="run every experiment (quick-look durations)"
     )
-    reproduce.add_argument("--duration", type=float, default=None,
+    reproduce.add_argument("--duration", type=_positive_duration, default=None,
                            metavar="SECONDS",
                            help="override every experiment's duration")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="replicate one experiment over a seed set, in parallel, "
+             "with result caching",
+    )
+    sweep.add_argument("experiment", help="experiment name (see 'list')")
+    sweep.add_argument("--seeds", default="1..5", metavar="SET",
+                       help="seed set: '1..10', '1,3,5', or one integer "
+                            "(default: 1..5)")
+    sweep.add_argument("--duration", type=_positive_duration, default=None,
+                       metavar="SECONDS",
+                       help="simulated duration per job (default: the "
+                            "experiment's quick-look value)")
+    _add_runner_options(sweep)
+
+    batch = sub.add_parser(
+        "batch", help="run a JSON grid of experiments/scenarios × seeds"
+    )
+    batch.add_argument("path", help="grid JSON file (see repro.runner.grid)")
+    _add_runner_options(batch)
     return parser
 
 
+def _resolve_experiment(parser: argparse.ArgumentParser, name: str) -> str:
+    """``name`` if registered, else a clean argparse error with suggestions."""
+    if name in REGISTRY:
+        return name
+    close = difflib.get_close_matches(name, REGISTRY, n=3, cutoff=0.4)
+    hint = f" — did you mean: {', '.join(close)}?" if close else ""
+    parser.error(
+        f"unknown experiment {name!r}{hint}\n"
+        f"valid experiments: {', '.join(sorted(REGISTRY))}"
+    )
+
+
+def _make_cache(args):
+    if args.no_cache:
+        return None
+    from repro.runner import ResultCache, default_cache_dir
+
+    return ResultCache(root=args.cache_dir or default_cache_dir())
+
+
+def _run_jobs(parser, args, specs):
+    """Shared sweep/batch execution; prints progress+cache info to stderr."""
+    from repro.runner import run_grid
+
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.retries < 0:
+        parser.error(f"--retries must be >= 0, got {args.retries}")
+    cache = _make_cache(args)
+
+    def progress(outcome, i, total):
+        status = ("cached" if outcome.cached
+                  else "ok" if outcome.ok else "FAILED")
+        line = f"  [{i + 1}/{total}] {outcome.spec.label:<32} {status}"
+        if not outcome.cached:
+            line += f"  {outcome.elapsed_s:.2f}s"
+        print(line, file=sys.stderr)
+
+    report = run_grid(
+        specs, workers=args.workers, cache=cache, timeout_s=args.timeout,
+        retries=args.retries, progress=progress,
+    )
+    if report.cache_stats is not None:
+        print(f"cache: {report.cache_stats.describe()} "
+              f"(dir: {cache.root})", file=sys.stderr)
+    print(f"wall clock: {report.wall_s:.1f}s at --workers {args.workers}",
+          file=sys.stderr)
+    for outcome in report.failures:
+        print(f"error: {outcome.spec.label}: {outcome.error} "
+              f"({outcome.attempts} attempts)", file=sys.stderr)
+    return report
+
+
+def _aggregate_json(summaries) -> dict:
+    return {
+        s.name: {"n": s.n, "mean": s.mean, "std": s.std,
+                 "ci95_half": s.ci95_half}
+        for s in summaries
+    }
+
+
+def _cmd_sweep(parser, args) -> int:
+    from repro.analysis.report import format_scalar_summaries
+    from repro.analysis.stats import summarize_scalars
+    from repro.runner import sweep_specs
+
+    experiment = _resolve_experiment(parser, args.experiment)
+    try:
+        specs = sweep_specs(experiment, seeds=args.seeds,
+                            duration_s=args.duration)
+    except ValueError as exc:
+        parser.error(str(exc))
+    report = _run_jobs(parser, args, specs)
+    samples = report.scalar_samples()
+    if not samples:
+        return 1
+    summaries = summarize_scalars(samples)
+    if args.json:
+        print(json.dumps(
+            {
+                "experiment": experiment,
+                "duration_s": args.duration,
+                "seeds": [o.spec.seed for o in report.outcomes if o.ok],
+                "jobs": [
+                    {"seed": o.spec.seed, "scalars": o.result["scalars"]}
+                    for o in report.outcomes if o.ok
+                ],
+                "aggregate": _aggregate_json(summaries),
+            },
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(format_scalar_summaries(
+            summaries,
+            title=f"{experiment}: {len(samples)} seeds, mean ± 95% CI",
+        ))
+    return 1 if report.failures else 0
+
+
+def _cmd_batch(parser, args) -> int:
+    from repro.analysis.report import format_scalar_summaries
+    from repro.analysis.stats import summarize_scalars
+    from repro.runner import load_grid
+
+    try:
+        entries = load_grid(args.path)
+    except (OSError, ValueError) as exc:
+        parser.error(f"cannot load grid {args.path!r}: {exc}")
+    flat = [spec for entry in entries for spec in entry.specs]
+    report = _run_jobs(parser, args, flat)
+
+    groups = []
+    cursor = 0
+    for entry in entries:
+        outcomes = report.outcomes[cursor:cursor + len(entry.specs)]
+        cursor += len(entry.specs)
+        samples = [o.result["scalars"] for o in outcomes if o.ok]
+        groups.append((entry, outcomes, samples))
+
+    if args.json:
+        print(json.dumps(
+            [
+                {
+                    "label": entry.label,
+                    "jobs": [
+                        {"spec": o.spec.to_dict(), "scalars": o.result["scalars"]}
+                        for o in outcomes if o.ok
+                    ],
+                    "aggregate": (_aggregate_json(summarize_scalars(samples))
+                                  if samples else None),
+                }
+                for entry, outcomes, samples in groups
+            ],
+            indent=2, sort_keys=True,
+        ))
+    else:
+        blocks = []
+        for entry, outcomes, samples in groups:
+            if not samples:
+                blocks.append(f"{entry.label}: all {len(outcomes)} jobs failed")
+                continue
+            blocks.append(format_scalar_summaries(
+                summarize_scalars(samples),
+                title=f"{entry.label}: {len(samples)} jobs, mean ± 95% CI",
+            ))
+        print("\n\n".join(blocks))
+    return 1 if report.failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.command == "list":
         width = max(len(name) for name in REGISTRY)
         for name in sorted(REGISTRY):
@@ -66,7 +278,12 @@ def main(argv: list[str] | None = None) -> int:
 
         print(run_all(duration_s=args.duration))
         return 0
-    report = run_experiment(args.experiment, duration_s=args.duration,
+    if args.command == "sweep":
+        return _cmd_sweep(parser, args)
+    if args.command == "batch":
+        return _cmd_batch(parser, args)
+    experiment = _resolve_experiment(parser, args.experiment)
+    report = run_experiment(experiment, duration_s=args.duration,
                             seed=args.seed)
     print(report)
     return 0

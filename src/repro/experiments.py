@@ -1,9 +1,20 @@
 """Named, runnable versions of the paper's experiments.
 
-Each experiment returns a plain-text report; the CLI (``python -m
-repro``) dispatches here.  Durations default to quick-look values —
-pass ``duration_s`` (and ``seed``) for full-length runs; the committed
-full-length results live in ``benchmarks/results/``.
+Every experiment is split into two halves:
+
+* a **metrics** function (``metrics_fig9`` etc.) that runs the
+  simulation and returns a *structured result*: a JSON-serialisable
+  dict with a flat ``"scalars"`` mapping (what the parallel runner
+  caches and the sweep aggregator folds across seeds) plus the detail
+  rows the text report needs;
+* a **render** function that turns that dict into the plain-text report
+  the CLI prints.
+
+``run_experiment`` composes the two, so ``python -m repro run`` output
+is unchanged, while ``repro.runner`` can call ``experiment_metrics`` in
+a worker process and get data instead of text.  Durations default to
+quick-look values — pass ``duration_s`` (and ``seed``) for full-length
+runs; the committed full-length results live in ``benchmarks/results/``.
 """
 
 from __future__ import annotations
@@ -13,7 +24,7 @@ from typing import Callable
 
 
 from repro.analysis.report import format_table
-from repro.analysis.stats import curve_band, throttle_table, throughput_gain
+from repro.analysis.stats import curve_band, throttle_table
 from repro.api import compare_policies, run_simulation
 from repro.config import SystemConfig
 from repro.cpu.thermal import ThermalParams
@@ -35,7 +46,13 @@ def _heterogeneous_thermal(resistances) -> tuple[ThermalParams, ...]:
     return tuple(ThermalParams(r_k_per_w=r, c_j_per_k=20.0 / r) for r in resistances)
 
 
-def experiment_fig6_fig7(duration_s: float = 300.0, seed: int = 7) -> str:
+def _base(name: str, duration_s: float, seed: int) -> dict:
+    return {"experiment": name, "duration_s": duration_s, "seed": seed}
+
+
+# -- Figures 6/7 --------------------------------------------------------------
+
+def metrics_fig6_fig7(duration_s: float = 300.0, seed: int = 7) -> dict:
     """Energy balancing on/off: band width and migrations (§6.1)."""
     config = SystemConfig(
         machine=MachineSpec.ibm_x445(smt=False),
@@ -47,17 +64,42 @@ def experiment_fig6_fig7(duration_s: float = 300.0, seed: int = 7) -> str:
     for label, result in (("disabled", cmp.baseline), ("enabled", cmp.energy_aware)):
         band = curve_band(result, skip_s=min(60.0, duration_s / 4))
         rows.append(
-            [label, result.migrations(), f"{band['mean_width_w']:.1f}",
-             f"{band['peak_thermal_power_w']:.1f}"]
+            {
+                "energy_balancing": label,
+                "migrations": result.migrations(),
+                "mean_width_w": band["mean_width_w"],
+                "peak_thermal_power_w": band["peak_thermal_power_w"],
+            }
         )
+    out = _base("fig6-7", duration_s, seed)
+    out["rows"] = rows
+    out["scalars"] = {
+        "migrations_disabled": float(rows[0]["migrations"]),
+        "migrations_enabled": float(rows[1]["migrations"]),
+        "band_width_disabled_w": rows[0]["mean_width_w"],
+        "band_width_enabled_w": rows[1]["mean_width_w"],
+        "peak_power_disabled_w": rows[0]["peak_thermal_power_w"],
+        "peak_power_enabled_w": rows[1]["peak_thermal_power_w"],
+    }
+    return out
+
+
+def render_fig6_fig7(metrics: dict) -> str:
+    rows = [
+        [r["energy_balancing"], r["migrations"], f"{r['mean_width_w']:.1f}",
+         f"{r['peak_thermal_power_w']:.1f}"]
+        for r in metrics["rows"]
+    ]
     return format_table(
         ["energy balancing", "migrations", "band width [W]", "peak [W]"],
         rows,
-        title=f"Figures 6/7 ({duration_s:.0f}s, 18 tasks, 8 CPUs)",
+        title=f"Figures 6/7 ({metrics['duration_s']:.0f}s, 18 tasks, 8 CPUs)",
     )
 
 
-def experiment_table3(duration_s: float = 300.0, seed: int = 11) -> str:
+# -- Table 3 ------------------------------------------------------------------
+
+def metrics_table3(duration_s: float = 300.0, seed: int = 11) -> dict:
     """Throttling percentages and throughput under a 38 degC limit."""
     config = SystemConfig(
         machine=MachineSpec.ibm_x445(smt=True),
@@ -68,22 +110,43 @@ def experiment_table3(duration_s: float = 300.0, seed: int = 11) -> str:
     )
     cmp = compare_policies(config, mixed_table2_workload(6), duration_s=duration_s)
     rows = [
-        [row.cpu, f"{row.disabled_pct:.1f}%", f"{row.enabled_pct:.1f}%"]
+        {"cpu": row.cpu, "disabled_pct": row.disabled_pct,
+         "enabled_pct": row.enabled_pct}
         for row in throttle_table(cmp.baseline, cmp.energy_aware)
     ]
+    avg_off = cmp.baseline.average_throttle_fraction() * 100
+    avg_on = cmp.energy_aware.average_throttle_fraction() * 100
+    out = _base("table3", duration_s, seed)
+    out["rows"] = rows
+    out["scalars"] = {
+        "avg_throttle_disabled_pct": avg_off,
+        "avg_throttle_enabled_pct": avg_on,
+        "throughput_gain": cmp.throughput_gain,
+    }
+    return out
+
+
+def render_table3(metrics: dict) -> str:
+    rows = [
+        [r["cpu"], f"{r['disabled_pct']:.1f}%", f"{r['enabled_pct']:.1f}%"]
+        for r in metrics["rows"]
+    ]
+    scalars = metrics["scalars"]
     rows.append(
         ["average",
-         f"{cmp.baseline.average_throttle_fraction() * 100:.1f}%",
-         f"{cmp.energy_aware.average_throttle_fraction() * 100:.1f}%"]
+         f"{scalars['avg_throttle_disabled_pct']:.1f}%",
+         f"{scalars['avg_throttle_enabled_pct']:.1f}%"]
     )
     table = format_table(
         ["logical CPU", "balancing off", "balancing on"], rows,
-        title=f"Table 3 ({duration_s:.0f}s, 38 degC limit)",
+        title=f"Table 3 ({metrics['duration_s']:.0f}s, 38 degC limit)",
     )
-    return table + f"\nthroughput increase: {cmp.throughput_gain:+.1%}"
+    return table + f"\nthroughput increase: {scalars['throughput_gain']:+.1%}"
 
 
-def experiment_short_tasks(duration_s: float = 200.0, seed: int = 12) -> str:
+# -- short tasks --------------------------------------------------------------
+
+def metrics_short_tasks(duration_s: float = 200.0, seed: int = 12) -> dict:
     """§6.2's short-task workload: placement-driven gain."""
     config = SystemConfig(
         machine=MachineSpec.ibm_x445(smt=True),
@@ -95,15 +158,28 @@ def experiment_short_tasks(duration_s: float = 200.0, seed: int = 12) -> str:
     cmp = compare_policies(
         config, short_task_storm(total_slots=32, job_s=0.7), duration_s=duration_s
     )
+    out = _base("short-tasks", duration_s, seed)
+    out["scalars"] = {
+        "baseline_jobs": cmp.baseline.fractional_jobs(),
+        "energy_aware_jobs": cmp.energy_aware.fractional_jobs(),
+        "throughput_gain": cmp.throughput_gain,
+    }
+    return out
+
+
+def render_short_tasks(metrics: dict) -> str:
+    scalars = metrics["scalars"]
     return (
-        f"short tasks ({duration_s:.0f}s): baseline "
-        f"{cmp.baseline.fractional_jobs():.0f} jobs, energy-aware "
-        f"{cmp.energy_aware.fractional_jobs():.0f} jobs "
-        f"({cmp.throughput_gain:+.1%})"
+        f"short tasks ({metrics['duration_s']:.0f}s): baseline "
+        f"{scalars['baseline_jobs']:.0f} jobs, energy-aware "
+        f"{scalars['energy_aware_jobs']:.0f} jobs "
+        f"({scalars['throughput_gain']:+.1%})"
     )
 
 
-def experiment_fig8(duration_s: float = 180.0, seed: int = 13) -> str:
+# -- Figure 8 -----------------------------------------------------------------
+
+def metrics_fig8(duration_s: float = 180.0, seed: int = 13) -> dict:
     """Throughput gain vs workload homogeneity."""
     config = SystemConfig(
         machine=MachineSpec.ibm_x445(smt=False),
@@ -113,16 +189,30 @@ def experiment_fig8(duration_s: float = 180.0, seed: int = 13) -> str:
         seed=seed,
     )
     rows = []
+    scalars = {}
     for workload in homogeneity_sweep(18):
         cmp = compare_policies(config, workload, duration_s=duration_s)
-        rows.append([workload.name, f"{cmp.throughput_gain * 100:+.1f}%"])
+        rows.append({"mix": workload.name, "throughput_gain": cmp.throughput_gain})
+        scalars[f"gain[{workload.name}]"] = cmp.throughput_gain
+    out = _base("fig8", duration_s, seed)
+    out["rows"] = rows
+    out["scalars"] = scalars
+    return out
+
+
+def render_fig8(metrics: dict) -> str:
+    rows = [
+        [r["mix"], f"{r['throughput_gain'] * 100:+.1f}%"] for r in metrics["rows"]
+    ]
     return format_table(
         ["#memrw/#pushpop/#bitcnts", "throughput increase"], rows,
-        title=f"Figure 8 ({duration_s:.0f}s per scenario)",
+        title=f"Figure 8 ({metrics['duration_s']:.0f}s per scenario)",
     )
 
 
-def experiment_fig9(duration_s: float = 200.0, seed: int = 3) -> str:
+# -- Figure 9 -----------------------------------------------------------------
+
+def metrics_fig9(duration_s: float = 200.0, seed: int = 3) -> dict:
     """The single hot task's tour."""
     config = SystemConfig(
         machine=MachineSpec.ibm_x445(smt=True),
@@ -135,18 +225,35 @@ def experiment_fig9(duration_s: float = 200.0, seed: int = 3) -> str:
         policy="energy", duration_s=duration_s,
     )
     rows = [
-        [f"{e.time_ms / 1000:.1f}s", e.detail["src"], e.detail["dst"]]
+        {"time_s": e.time_ms / 1000, "src": e.detail["src"], "dst": e.detail["dst"]}
         for e in result.migration_events()
+    ]
+    out = _base("fig9", duration_s, seed)
+    out["rows"] = rows
+    out["scalars"] = {
+        "migrations": float(len(rows)),
+        "fractional_jobs": result.fractional_jobs(),
+        "average_throttle_fraction": result.average_throttle_fraction(),
+    }
+    return out
+
+
+def render_fig9(metrics: dict) -> str:
+    rows = [
+        [f"{r['time_s']:.1f}s", r["src"], r["dst"]] for r in metrics["rows"]
     ]
     return format_table(
         ["time", "from CPU", "to CPU"], rows,
-        title=f"Figure 9 ({duration_s:.0f}s, one bitcnts, 40 W/package)",
+        title=f"Figure 9 ({metrics['duration_s']:.0f}s, one bitcnts, 40 W/package)",
     )
 
 
-def experiment_fig10(duration_s: float = 200.0, seed: int = 5) -> str:
+# -- Figure 10 ----------------------------------------------------------------
+
+def metrics_fig10(duration_s: float = 200.0, seed: int = 5) -> dict:
     """Hot-task-migration gain vs number of tasks."""
     rows = []
+    scalars = {}
     for n in (1, 2, 4, 8):
         config = SystemConfig(
             machine=MachineSpec.ibm_x445(smt=True),
@@ -158,14 +265,28 @@ def experiment_fig10(duration_s: float = 200.0, seed: int = 5) -> str:
         cmp = compare_policies(
             config, single_program_workload("bitcnts", n), duration_s=duration_s
         )
-        rows.append([n, f"{cmp.throughput_gain * 100:+.1f}%"])
+        rows.append({"tasks": n, "throughput_gain": cmp.throughput_gain})
+        scalars[f"gain[{n} tasks]"] = cmp.throughput_gain
+    out = _base("fig10", duration_s, seed)
+    out["rows"] = rows
+    out["scalars"] = scalars
+    return out
+
+
+def render_fig10(metrics: dict) -> str:
+    rows = [
+        [r["tasks"], f"{r['throughput_gain'] * 100:+.1f}%"]
+        for r in metrics["rows"]
+    ]
     return format_table(
         ["bitcnts tasks", "throughput increase"], rows,
-        title=f"Figure 10 ({duration_s:.0f}s per point, 40 W packages)",
+        title=f"Figure 10 ({metrics['duration_s']:.0f}s per point, 40 W packages)",
     )
 
 
-def experiment_hotspot(duration_s: float = 180.0, seed: int = 0) -> str:
+# -- hotspot extension --------------------------------------------------------
+
+def metrics_hotspot(duration_s: float = 180.0, seed: int = 0) -> dict:
     """The §7 functional-unit extension."""
     from repro.hotspot.experiment import (
         HotspotExperimentConfig,
@@ -173,16 +294,36 @@ def experiment_hotspot(duration_s: float = 180.0, seed: int = 0) -> str:
     )
 
     config = HotspotExperimentConfig(duration_s=duration_s)
-    rows = []
     results = {}
     for policy in ("none", "total", "unit"):
         results[policy] = run_hotspot_experiment(config, policy)
+    rows = []
+    scalars = {}
     for policy, result in results.items():
+        gain = result.throughput_vs(results["none"])
         rows.append(
-            [policy, result.swaps, f"{result.throttle_fraction:.1%}",
-             f"{result.max_unit_temp_c:.1f}",
-             f"{result.throughput_vs(results['none']):+.1%}"]
+            {
+                "policy": policy,
+                "swaps": result.swaps,
+                "throttle_fraction": result.throttle_fraction,
+                "max_unit_temp_c": result.max_unit_temp_c,
+                "throughput_vs_none": gain,
+            }
         )
+        scalars[f"throttle_fraction[{policy}]"] = result.throttle_fraction
+        scalars[f"throughput_vs_none[{policy}]"] = gain
+    out = _base("hotspot", duration_s, seed)
+    out["rows"] = rows
+    out["scalars"] = scalars
+    return out
+
+
+def render_hotspot(metrics: dict) -> str:
+    rows = [
+        [r["policy"], r["swaps"], f"{r['throttle_fraction']:.1%}",
+         f"{r['max_unit_temp_c']:.1f}", f"{r['throughput_vs_none']:+.1%}"]
+        for r in metrics["rows"]
+    ]
     return format_table(
         ["policy", "swaps", "unit throttling", "max unit temp [C]",
          "throughput vs none"],
@@ -191,33 +332,77 @@ def experiment_hotspot(duration_s: float = 180.0, seed: int = 0) -> str:
     )
 
 
+# -- registry -----------------------------------------------------------------
+
+def _compose(metrics_fn: Callable[..., dict],
+             render_fn: Callable[[dict], str]) -> Callable[..., str]:
+    def run(**kwargs) -> str:
+        return render_fn(metrics_fn(**kwargs))
+
+    return run
+
+
 @dataclass(frozen=True, slots=True)
 class ExperimentInfo:
-    """Registry entry: human description plus the runner."""
+    """Registry entry: description, text runner, structured entrypoints.
+
+    ``metrics`` takes ``(duration_s=..., seed=...)`` and returns the
+    structured result dict; ``render`` turns that dict back into the
+    report text; ``run`` composes the two.  ``metrics`` is what the
+    parallel runner invokes in worker processes — it must stay a
+    module-level (picklable-by-name) function.
+    """
 
     name: str
     description: str
     run: Callable[..., str]
+    metrics: Callable[..., dict]
+    render: Callable[[dict], str]
+
+
+def _info(name: str, description: str, metrics_fn: Callable[..., dict],
+          render_fn: Callable[[dict], str]) -> ExperimentInfo:
+    return ExperimentInfo(name, description, _compose(metrics_fn, render_fn),
+                          metrics_fn, render_fn)
 
 
 REGISTRY: dict[str, ExperimentInfo] = {
     info.name: info
     for info in (
-        ExperimentInfo("fig6-7", "energy balancing band + migrations (§6.1)",
-                       experiment_fig6_fig7),
-        ExperimentInfo("table3", "throttling percentages + throughput (§6.2)",
-                       experiment_table3),
-        ExperimentInfo("short-tasks", "placement-driven short-task gain (§6.2)",
-                       experiment_short_tasks),
-        ExperimentInfo("fig8", "gain vs workload homogeneity (§6.3)",
-                       experiment_fig8),
-        ExperimentInfo("fig9", "single hot task tour (§6.4)", experiment_fig9),
-        ExperimentInfo("fig10", "hot-task gain vs task count (§6.4)",
-                       experiment_fig10),
-        ExperimentInfo("hotspot", "functional-unit extension (§7)",
-                       experiment_hotspot),
+        _info("fig6-7", "energy balancing band + migrations (§6.1)",
+              metrics_fig6_fig7, render_fig6_fig7),
+        _info("table3", "throttling percentages + throughput (§6.2)",
+              metrics_table3, render_table3),
+        _info("short-tasks", "placement-driven short-task gain (§6.2)",
+              metrics_short_tasks, render_short_tasks),
+        _info("fig8", "gain vs workload homogeneity (§6.3)",
+              metrics_fig8, render_fig8),
+        _info("fig9", "single hot task tour (§6.4)",
+              metrics_fig9, render_fig9),
+        _info("fig10", "hot-task gain vs task count (§6.4)",
+              metrics_fig10, render_fig10),
+        _info("hotspot", "functional-unit extension (§7)",
+              metrics_hotspot, render_hotspot),
     )
 }
+
+
+def _lookup(name: str) -> ExperimentInfo:
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {sorted(REGISTRY)}"
+        ) from None
+
+
+def _kwargs(duration_s: float | None, seed: int | None) -> dict:
+    kwargs = {}
+    if duration_s is not None:
+        kwargs["duration_s"] = duration_s
+    if seed is not None:
+        kwargs["seed"] = seed
+    return kwargs
 
 
 def run_all(duration_s: float | None = None) -> str:
@@ -237,15 +422,16 @@ def run_all(duration_s: float | None = None) -> str:
 def run_experiment(name: str, duration_s: float | None = None,
                    seed: int | None = None) -> str:
     """Run a registered experiment by name; returns the report text."""
-    try:
-        info = REGISTRY[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown experiment {name!r}; available: {sorted(REGISTRY)}"
-        ) from None
-    kwargs = {}
-    if duration_s is not None:
-        kwargs["duration_s"] = duration_s
-    if seed is not None:
-        kwargs["seed"] = seed
-    return info.run(**kwargs)
+    return _lookup(name).run(**_kwargs(duration_s, seed))
+
+
+def experiment_metrics(name: str, duration_s: float | None = None,
+                       seed: int | None = None) -> dict:
+    """Run a registered experiment by name; returns the structured result.
+
+    The dict always carries ``experiment``, ``duration_s``, ``seed``,
+    and a flat float-valued ``scalars`` mapping; table-like experiments
+    add ``rows``.  ``REGISTRY[name].render`` reproduces the text report
+    from it.
+    """
+    return _lookup(name).metrics(**_kwargs(duration_s, seed))

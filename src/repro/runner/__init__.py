@@ -1,0 +1,52 @@
+"""Parallel experiment runner with on-disk result caching.
+
+The pieces, bottom-up:
+
+* :mod:`repro.runner.spec` — :class:`JobSpec`, a picklable description
+  of one run (experiment or scenario + duration/seed/overrides) with a
+  stable content hash;
+* :mod:`repro.runner.cache` — :class:`ResultCache`, JSON files under
+  ``.repro_cache/`` keyed by spec hash, salted by a digest of the
+  package source so code changes invalidate stale results;
+* :mod:`repro.runner.executor` — :func:`run_grid`, a process-pool
+  fan-out with per-job timeout, bounded retry, and serial fallback;
+* :mod:`repro.runner.grid` — batch grid-file expansion for
+  ``python -m repro batch``.
+
+Typical library use::
+
+    from repro.runner import ResultCache, run_grid, sweep_specs
+
+    specs = sweep_specs("fig9", seeds="1..10", duration_s=200)
+    report = run_grid(specs, workers=4, cache=ResultCache())
+    samples = report.scalar_samples()   # one scalar dict per seed
+
+See ``docs/running_experiments.md`` for the operations guide.
+"""
+
+from repro.runner.cache import (
+    CacheStats,
+    ResultCache,
+    code_salt,
+    default_cache_dir,
+)
+from repro.runner.executor import GridReport, JobOutcome, execute_spec, run_grid
+from repro.runner.grid import GridEntry, expand_grid, load_grid
+from repro.runner.spec import JobSpec, parse_seeds, sweep_specs
+
+__all__ = [
+    "CacheStats",
+    "GridEntry",
+    "GridReport",
+    "JobOutcome",
+    "JobSpec",
+    "ResultCache",
+    "code_salt",
+    "default_cache_dir",
+    "execute_spec",
+    "expand_grid",
+    "load_grid",
+    "parse_seeds",
+    "run_grid",
+    "sweep_specs",
+]

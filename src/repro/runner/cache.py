@@ -1,0 +1,129 @@
+"""On-disk result cache for the experiment runner.
+
+One JSON file per completed job under ``.repro_cache/`` (or
+``$REPRO_CACHE_DIR``), named by the spec's content hash.  Each payload
+records the *salt* it was computed under — by default a digest of every
+``repro`` source file — so results computed by older code are treated
+as misses and silently overwritten: editing any module under
+``src/repro/`` invalidates the whole cache without touching the files.
+
+Reads and writes go through :meth:`ResultCache.get` /
+:meth:`ResultCache.put`, which keep hit/miss/store counts for the CLI's
+cache report.  Writes are atomic (tmp file + ``os.replace``) so a
+killed sweep never leaves a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.runner.spec import JobSpec
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+_SCHEMA_VERSION = 1
+
+
+@functools.lru_cache(maxsize=1)
+def code_salt() -> str:
+    """Digest of every ``repro/*.py`` source file (the code-version salt).
+
+    Computed once per process; stable across processes for the same
+    checkout, different as soon as any module changes.
+    """
+    package_root = pathlib.Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``.repro_cache`` in the cwd."""
+    return pathlib.Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one runner invocation."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def describe(self) -> str:
+        return f"{self.hits} hits, {self.misses} misses"
+
+
+@dataclass
+class ResultCache:
+    """Spec-hash-keyed JSON store of structured run results."""
+
+    root: pathlib.Path = field(default_factory=default_cache_dir)
+    salt: str = field(default_factory=code_salt)
+
+    def __post_init__(self) -> None:
+        self.root = pathlib.Path(self.root)
+        self.stats = CacheStats()
+
+    def path_for(self, spec: JobSpec) -> pathlib.Path:
+        return self.root / f"{spec.content_hash()}.json"
+
+    def get(self, spec: JobSpec) -> dict | None:
+        """The cached result for ``spec``, or ``None`` on miss.
+
+        A payload written under a different salt (older code) or an
+        unreadable file counts as a miss.
+        """
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        if (payload.get("salt") != self.salt
+                or payload.get("schema") != _SCHEMA_VERSION):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload["result"]
+
+    def put(self, spec: JobSpec, result: dict) -> pathlib.Path:
+        """Store ``result`` for ``spec`` (atomically); returns the path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(spec)
+        payload = {
+            "schema": _SCHEMA_VERSION,
+            "salt": self.salt,
+            "spec": spec.to_dict(),
+            "result": result,
+        }
+        tmp = path.with_suffix(".tmp")
+        # No sort_keys: scalar-dict insertion order is part of the result
+        # (aggregate tables list metrics in the order the experiment
+        # defined them), and json round-trips dict order faithfully.
+        tmp.write_text(json.dumps(payload, indent=1))
+        os.replace(tmp, path)
+        self.stats.stores += 1
+        return path
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed

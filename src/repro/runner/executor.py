@@ -1,0 +1,298 @@
+"""Fan a grid of job specs across worker processes.
+
+:func:`run_grid` is the engine of ``python -m repro sweep`` / ``batch``:
+it resolves cache hits first, then executes the remaining specs — in
+this process when ``workers=1``, otherwise on a
+:class:`~concurrent.futures.ProcessPoolExecutor` — with a per-job
+timeout and bounded retry on failure.  Simulations are deterministic in
+their spec, so outcomes are returned in *input order* and a sweep's
+aggregate is byte-identical whatever the worker count.
+
+Semantics worth knowing:
+
+* **Timeouts** apply wall-clock from the moment a job starts executing
+  (at most ``workers`` jobs are in flight, so a submitted job starts
+  immediately).  A timed-out job fails permanently — a job that blew
+  its budget once will blow it again, so it is not retried.  The worker
+  process cannot be interrupted mid-simulation; its slot is abandoned
+  and drains in the background.
+* **Retries** cover transient failures: any exception from the job
+  earns up to ``retries`` re-submissions before the outcome is recorded
+  as an error.
+* **Degradation**: if the pool cannot be created, everything runs
+  serially in-process.  If the pool *breaks* (a worker died), jobs that
+  were in flight are recorded as failures — the dead worker's job
+  cannot be told apart from its victims, and rerunning a
+  worker-killing job in-process could take the whole sweep down — while
+  jobs never started fall back to serial execution.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.runner.cache import CacheStats, ResultCache
+from repro.runner.spec import JobSpec
+
+
+def execute_spec(spec: JobSpec) -> dict:
+    """Run one job in this process; returns its structured result.
+
+    Experiment specs dispatch to the registry's structured entrypoint
+    (:func:`repro.experiments.experiment_metrics`); scenario specs are
+    parsed by :mod:`repro.scenario` after overrides/duration/seed are
+    merged in.  Imports happen here, not at module import, so spawning
+    a pool does not pay for them twice.
+    """
+    if spec.experiment is not None:
+        from repro.experiments import experiment_metrics
+
+        return experiment_metrics(
+            spec.experiment, duration_s=spec.duration_s, seed=spec.seed
+        )
+    from repro.analysis.export import run_summary
+    from repro.scenario import parse_scenario
+
+    data = dict(spec.scenario)
+    data.update(spec.overrides)
+    if spec.duration_s is not None:
+        data["duration_s"] = spec.duration_s
+    if spec.seed is not None:
+        data["seed"] = spec.seed
+    scenario = parse_scenario(data)
+    result = scenario.run()
+    return {
+        "experiment": None,
+        "scenario": scenario.workload.name,
+        "duration_s": scenario.duration_s,
+        "seed": scenario.config.seed,
+        "scalars": result.scalar_summary(),
+        "summary": run_summary(result),
+    }
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one spec: a result, a cache hit, or an error."""
+
+    spec: JobSpec
+    result: dict | None
+    error: str | None = None
+    attempts: int = 0
+    cached: bool = False
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+@dataclass
+class GridReport:
+    """Ordered outcomes of one :func:`run_grid` call."""
+
+    outcomes: list[JobOutcome]
+    cache_stats: CacheStats | None
+    wall_s: float
+
+    @property
+    def failures(self) -> list[JobOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def results(self) -> list[dict]:
+        return [o.result for o in self.outcomes if o.ok]
+
+    def scalar_samples(self) -> list[dict]:
+        """The per-job scalar dicts, in spec order (failed jobs skipped)."""
+        return [
+            o.result["scalars"]
+            for o in self.outcomes
+            if o.ok and isinstance(o.result.get("scalars"), dict)
+        ]
+
+
+ProgressFn = Callable[[JobOutcome, int, int], None]
+
+
+def run_grid(
+    specs: Sequence[JobSpec],
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    timeout_s: float | None = None,
+    retries: int = 1,
+    run_fn: Callable[[JobSpec], dict] = execute_spec,
+    progress: ProgressFn | None = None,
+) -> GridReport:
+    """Execute every spec, consulting and filling ``cache`` if given."""
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    started = time.monotonic()
+    specs = list(specs)
+    outcomes: dict[int, JobOutcome] = {}
+    to_run: list[int] = []
+    for i, spec in enumerate(specs):
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            outcomes[i] = JobOutcome(spec=spec, result=hit, cached=True)
+        else:
+            to_run.append(i)
+
+    if to_run:
+        if workers == 1 or len(to_run) == 1:
+            _run_serial(specs, to_run, retries, run_fn, outcomes)
+        else:
+            _run_parallel(specs, to_run, workers, timeout_s, retries, run_fn,
+                          outcomes)
+        leftover = [i for i in to_run if i not in outcomes]
+        if leftover:  # pool unavailable or broke before these started
+            _run_serial(specs, leftover, retries, run_fn, outcomes)
+        if cache is not None:
+            for i in to_run:
+                outcome = outcomes[i]
+                if outcome.ok:
+                    cache.put(outcome.spec, outcome.result)
+
+    ordered = [outcomes[i] for i in range(len(specs))]
+    if progress is not None:
+        for i, outcome in enumerate(ordered):
+            progress(outcome, i, len(specs))
+    return GridReport(
+        outcomes=ordered,
+        cache_stats=cache.stats if cache is not None else None,
+        wall_s=time.monotonic() - started,
+    )
+
+
+def _describe(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _run_serial(
+    specs: Sequence[JobSpec],
+    indices: Sequence[int],
+    retries: int,
+    run_fn: Callable[[JobSpec], dict],
+    outcomes: dict[int, JobOutcome],
+) -> None:
+    """In-process execution (no timeout enforcement — nothing to kill)."""
+    for i in indices:
+        attempts = 0
+        start = time.monotonic()
+        while True:
+            attempts += 1
+            try:
+                result = run_fn(specs[i])
+            except Exception as exc:
+                if attempts <= retries:
+                    continue
+                outcomes[i] = JobOutcome(
+                    spec=specs[i], result=None, error=_describe(exc),
+                    attempts=attempts, elapsed_s=time.monotonic() - start,
+                )
+            else:
+                outcomes[i] = JobOutcome(
+                    spec=specs[i], result=result, attempts=attempts,
+                    elapsed_s=time.monotonic() - start,
+                )
+            break
+
+
+def _run_parallel(
+    specs: Sequence[JobSpec],
+    indices: Sequence[int],
+    workers: int,
+    timeout_s: float | None,
+    retries: int,
+    run_fn: Callable[[JobSpec], dict],
+    outcomes: dict[int, JobOutcome],
+) -> None:
+    """Sliding-window pool execution; missing outcomes mean a broken pool."""
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+    from concurrent.futures.process import BrokenProcessPool
+
+    try:
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(indices)))
+    except (OSError, ValueError):  # no fork/spawn available → serial fallback
+        return
+    pending = deque(indices)
+    attempts = dict.fromkeys(indices, 0)
+    running: dict = {}  # future -> (index, start time)
+    try:
+        while pending or running:
+            while pending and len(running) < workers:
+                i = pending.popleft()
+                attempts[i] += 1
+                future = pool.submit(run_fn, specs[i])
+                running[future] = (i, time.monotonic())
+            poll_s = 0.05 if timeout_s is not None else None
+            done, _ = wait(set(running), timeout=poll_s,
+                           return_when=FIRST_COMPLETED)
+            now = time.monotonic()
+            for future in done:
+                i, start = running.pop(future)
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    # The worker running this job died (crash, OOM kill,
+                    # os._exit).  Don't rerun it in-process — it may take
+                    # the whole sweep down with it.
+                    outcomes[i] = JobOutcome(
+                        spec=specs[i], result=None,
+                        error="worker process died (broken pool)",
+                        attempts=attempts[i], elapsed_s=now - start,
+                    )
+                    raise
+                except Exception as exc:
+                    if attempts[i] <= retries:
+                        pending.append(i)
+                    else:
+                        outcomes[i] = JobOutcome(
+                            spec=specs[i], result=None, error=_describe(exc),
+                            attempts=attempts[i], elapsed_s=now - start,
+                        )
+                else:
+                    outcomes[i] = JobOutcome(
+                        spec=specs[i], result=result, attempts=attempts[i],
+                        elapsed_s=now - start,
+                    )
+            if timeout_s is not None:
+                for future, (i, start) in list(running.items()):
+                    if now - start > timeout_s:
+                        future.cancel()
+                        running.pop(future)
+                        outcomes[i] = JobOutcome(
+                            spec=specs[i], result=None,
+                            error=f"timeout after {timeout_s:g}s",
+                            attempts=attempts[i], elapsed_s=now - start,
+                        )
+    except BrokenProcessPool:
+        # A broken pool fails every in-flight future; the dead worker's
+        # job cannot be told apart from its victims, so record them all
+        # as failures rather than risking an in-process rerun.  Jobs
+        # still queued (never started) have no outcome — the caller
+        # finishes those serially.
+        now = time.monotonic()
+        for future, (i, start) in running.items():
+            if future.done() and not future.cancelled() \
+                    and future.exception() is None:
+                outcomes[i] = JobOutcome(
+                    spec=specs[i], result=future.result(),
+                    attempts=attempts[i], elapsed_s=now - start,
+                )
+            else:
+                outcomes[i] = JobOutcome(
+                    spec=specs[i], result=None,
+                    error="worker process died (broken pool)",
+                    attempts=attempts[i], elapsed_s=now - start,
+                )
+        running.clear()
+    finally:
+        for future in running:
+            future.cancel()
+        pool.shutdown(wait=False, cancel_futures=True)

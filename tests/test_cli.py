@@ -1,9 +1,11 @@
 """Unit tests for the CLI and the experiment registry."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
-from repro.experiments import REGISTRY, run_experiment
+from repro.experiments import REGISTRY, experiment_metrics, run_experiment
 
 
 class TestRegistry:
@@ -16,6 +18,24 @@ class TestRegistry:
         for info in REGISTRY.values():
             assert info.description
             assert callable(info.run)
+            assert callable(info.metrics)
+            assert callable(info.render)
+
+    def test_metrics_are_structured_and_render_matches_run(self):
+        metrics = experiment_metrics("fig9", duration_s=30.0, seed=3)
+        assert metrics["experiment"] == "fig9"
+        assert metrics["duration_s"] == 30.0 and metrics["seed"] == 3
+        assert metrics["scalars"] and all(
+            isinstance(v, float) for v in metrics["scalars"].values()
+        )
+        assert (REGISTRY["fig9"].render(metrics)
+                == run_experiment("fig9", duration_s=30.0, seed=3))
+
+    def test_metrics_functions_are_picklable(self):
+        import pickle
+
+        for info in REGISTRY.values():
+            assert pickle.loads(pickle.dumps(info.metrics)) is info.metrics
 
     def test_unknown_experiment_raises_with_choices(self):
         with pytest.raises(KeyError, match="fig9"):
@@ -47,6 +67,20 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["run", "not-an-experiment"])
 
+    def test_run_typo_suggests_and_lists_experiments(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "fig9" in err
+        for name in REGISTRY:
+            assert name in err
+
+    @pytest.mark.parametrize("bad", ["0", "-5", "nan", "inf", "abc"])
+    def test_run_rejects_bad_duration_cleanly(self, bad, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "fig9", "--duration", bad])
+        assert "invalid duration" in capsys.readouterr().err
+
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -77,13 +111,98 @@ class TestRunAll:
         import repro.experiments as exp
 
         for name, info in list(exp.REGISTRY.items()):
+            metrics = (lambda duration_s=None, seed=None, n=name:
+                       {"experiment": n, "scalars": {}})
+            render = lambda m: f"report-for-{m['experiment']}"
             monkeypatch.setitem(
                 exp.REGISTRY, name,
                 exp.ExperimentInfo(name, info.description,
-                                   lambda duration_s=None, seed=None, n=name:
-                                   f"report-for-{n}"),
+                                   exp._compose(metrics, render),
+                                   metrics, render),
             )
         report = exp.run_all()
         for name in exp.REGISTRY:
             assert f"===== {name} =====" in report
             assert f"report-for-{name}" in report
+
+
+class TestSweepAndBatchCli:
+    def test_sweep_parser_accepts_runner_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "fig9", "--seeds", "1..4", "--workers", "2",
+             "--duration", "30", "--no-cache", "--timeout", "60",
+             "--retries", "2", "--json"]
+        )
+        assert args.command == "sweep"
+        assert args.experiment == "fig9"
+        assert args.seeds == "1..4"
+        assert args.workers == 2
+        assert args.duration == 30.0
+        assert args.no_cache is True
+        assert args.timeout == 60.0
+        assert args.retries == 2
+        assert args.json is True
+
+    def test_batch_parser_accepts_runner_flags(self):
+        args = build_parser().parse_args(
+            ["batch", "grid.json", "--workers", "4", "--no-cache"]
+        )
+        assert args.command == "batch"
+        assert args.path == "grid.json"
+        assert args.workers == 4 and args.no_cache is True
+
+    def test_sweep_rejects_bad_seed_spec(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "fig9", "--seeds", "4..1", "--no-cache"])
+        assert "seed" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_experiment_with_suggestion(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "tabel3", "--no-cache"])
+        assert "table3" in capsys.readouterr().err
+
+    def test_sweep_end_to_end_caches_and_is_deterministic(self, tmp_path,
+                                                          capsys):
+        argv = ["sweep", "fig9", "--seeds", "1..2", "--duration", "3",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "2 seeds, mean ± 95% CI" in first.out
+        assert "0 hits, 2 misses" in first.err
+
+        assert main(argv + ["--workers", "2"]) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out  # byte-identical aggregate
+        assert "2 hits, 0 misses" in second.err
+
+    def test_sweep_json_output(self, capsys):
+        assert main(["sweep", "fig9", "--seeds", "1,2", "--duration", "3",
+                     "--no-cache", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["experiment"] == "fig9"
+        assert data["seeds"] == [1, 2]
+        assert "migrations" in data["aggregate"]
+        assert all(s["n"] == 2 for s in data["aggregate"].values())
+
+    def test_no_cache_skips_cache_reporting(self, capsys):
+        assert main(["sweep", "fig9", "--seeds", "1", "--duration", "3",
+                     "--no-cache"]) == 0
+        assert "cache:" not in capsys.readouterr().err
+
+    def test_batch_end_to_end(self, tmp_path, capsys):
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps({"jobs": [
+            {"experiment": "fig9", "seeds": "1..2", "duration_s": 3,
+             "label": "tour"},
+        ]}))
+        assert main(["batch", str(grid), "--cache-dir",
+                     str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "tour: 2 jobs, mean ± 95% CI" in out
+
+    def test_batch_rejects_bad_grid(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]")
+        with pytest.raises(SystemExit):
+            main(["batch", str(bad), "--no-cache"])
+        assert "grid" in capsys.readouterr().err

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to real files.
+
+Scans the given markdown files (default: README.md and docs/*.md) for
+``[text](target)`` links, skips external URLs and pure anchors, and
+verifies each relative target exists on disk. Exits non-zero listing
+every broken link — CI runs this so docs cannot rot silently.
+
+    python tools/check_links.py
+    python tools/check_links.py README.md docs/*.md *.md
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+# [text](target) — target captured up to the closing paren; markdown
+# images ![alt](target) match too, which is what we want.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def broken_links(path: pathlib.Path) -> list[tuple[str, str]]:
+    """(link, reason) for every unresolvable relative link in ``path``."""
+    problems = []
+    for target in _LINK.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(_SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            problems.append((target, f"no such file: {resolved}"))
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [pathlib.Path(a) for a in argv]
+    else:
+        root = pathlib.Path(__file__).resolve().parent.parent
+        files = [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+    failures = 0
+    for path in files:
+        if not path.is_file():
+            print(f"{path}: not a file")
+            failures += 1
+            continue
+        for link, reason in broken_links(path):
+            print(f"{path}: broken link ({link}): {reason}")
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s)")
+        return 1
+    print(f"checked {len(files)} file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

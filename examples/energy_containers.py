@@ -13,9 +13,16 @@ simultaneously.
 Run:  python examples/energy_containers.py
 """
 
-from repro import MachineSpec, SystemConfig, run_simulation
-from repro.workloads.generator import TaskSpec, WorkloadSpec, n_copies
-from repro.workloads.programs import program
+from repro import (
+    MachineSpec,
+    Policy,
+    SystemConfig,
+    TaskSpec,
+    WorkloadSpec,
+    program,
+    run_simulation,
+)
+from repro.workloads.generator import n_copies
 
 DURATION_S = 180.0
 
@@ -35,7 +42,7 @@ def main() -> None:
     workload = WorkloadSpec("capped-mix", tasks)
     print("8 tasks on 8 CPUs (one each); one bitcnts capped at 35 W, "
           "its twin uncapped")
-    result = run_simulation(config, workload, policy="energy",
+    result = run_simulation(config, workload, policy=Policy.ENERGY,
                             duration_s=DURATION_S)
 
     capped = next(

@@ -15,12 +15,12 @@ Run:  python examples/energy_profiling.py
 
 import random
 
+from repro import PROGRAMS, PowerModelParams, ProfileConfig, program
 from repro.analysis.report import format_table
 from repro.core.estimator import build_calibrated_estimator
-from repro.core.profile import EnergyProfile, ProfileConfig
+from repro.core.profile import EnergyProfile
 from repro.cpu.frequency import ExecutionModel
-from repro.cpu.power import GroundTruthPower, PowerModelParams
-from repro.workloads.programs import PROGRAMS, program
+from repro.cpu.power import GroundTruthPower
 
 
 def main() -> None:

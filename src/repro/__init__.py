@@ -31,7 +31,7 @@ from repro.api import (
     run_simulation,
 )
 from repro.config import SystemConfig
-from repro.core.policy import EnergyAwareConfig
+from repro.core.policy import EnergyAwareConfig, Policy
 from repro.core.profile import ProfileConfig
 from repro.cpu.power import PowerModelParams
 from repro.cpu.thermal import ThermalParams
@@ -57,6 +57,7 @@ __all__ = [
     "EnergyAwareConfig",
     "MachineSpec",
     "PROGRAMS",
+    "Policy",
     "PolicyComparison",
     "PowerModelParams",
     "PowerTrace",

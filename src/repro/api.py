@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.config import SystemConfig
-from repro.core.policy import EnergyAwareConfig
+from repro.core.policy import EnergyAwareConfig, Policy
 from repro.sim.clock import Clock
 from repro.sim.engine import Engine
 from repro.sim.events import EventKind, EventRecord
@@ -137,13 +137,28 @@ class SimulationResult:
 def run_simulation(
     config: SystemConfig,
     workload: WorkloadSpec,
-    policy: str = "energy",
+    policy: Policy | str = Policy.ENERGY,
     policy_config: EnergyAwareConfig | None = None,
     duration_s: float = 300.0,
+    fast_path: bool = True,
 ) -> SimulationResult:
-    """Build a system, run it for ``duration_s``, return the result."""
+    """Build a system, run it for ``duration_s``, return the result.
+
+    ``policy`` accepts a :class:`~repro.core.policy.Policy` member or its
+    string value; unknown names raise ``ValueError`` up front.
+    ``fast_path`` selects the batched tick loop (the default) or the
+    scalar reference implementation — results are bit-identical either
+    way (the perf harness asserts this), so the flag exists for
+    benchmarking and verification, not for correctness trade-offs.
+    """
     clock = Clock(config.tick_ms)
-    system = System(config, workload, policy=policy, policy_config=policy_config)
+    system = System(
+        config,
+        workload,
+        policy=Policy.coerce(policy),
+        policy_config=policy_config,
+        fast_path=fast_path,
+    )
     engine = Engine(clock, system.tracer)
     engine.register(system)
     engine.run_for(duration_s)
@@ -189,6 +204,7 @@ def compare_policies(
     workload: WorkloadSpec,
     duration_s: float = 300.0,
     policy_config: EnergyAwareConfig | None = None,
+    fast_path: bool = True,
 ) -> PolicyComparison:
     """Run the scenario under the baseline and the energy-aware policy.
 
@@ -196,14 +212,19 @@ def compare_policies(
     paper's enabled/disabled measurements.
     """
     baseline = run_simulation(
-        config, workload, policy="baseline", duration_s=duration_s
+        config,
+        workload,
+        policy=Policy.BASELINE,
+        duration_s=duration_s,
+        fast_path=fast_path,
     )
     energy = run_simulation(
         config,
         workload,
-        policy="energy",
+        policy=Policy.ENERGY,
         policy_config=policy_config,
         duration_s=duration_s,
+        fast_path=fast_path,
     )
     return PolicyComparison(baseline=baseline, energy_aware=energy)
 
@@ -257,6 +278,7 @@ def run_replicated(
     duration_s: float = 300.0,
     n_runs: int = 3,
     policy_config: EnergyAwareConfig | None = None,
+    fast_path: bool = True,
 ) -> ReplicatedComparison:
     """Repeat :func:`compare_policies` with derived seeds and aggregate.
 
@@ -271,7 +293,7 @@ def run_replicated(
         runs.append(
             compare_policies(
                 seeded, workload, duration_s=duration_s,
-                policy_config=policy_config,
+                policy_config=policy_config, fast_path=fast_path,
             )
         )
     return ReplicatedComparison(runs=tuple(runs))

@@ -106,6 +106,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("path", help="grid JSON file (see repro.runner.grid)")
     _add_runner_options(batch)
+
+    perf = sub.add_parser(
+        "perf",
+        help="benchmark the batched tick loop against the scalar "
+             "reference and write BENCH_perf.json",
+    )
+    perf.add_argument("--scenario", action="append", default=None,
+                      metavar="NAME", dest="scenarios",
+                      help="run only this scenario (repeatable; default: "
+                           "the full reference set)")
+    perf.add_argument("--duration", type=_positive_duration, default=None,
+                      metavar="SECONDS",
+                      help="override every scenario's pinned simulated "
+                           "duration")
+    perf.add_argument("--repeats", type=int, default=2, metavar="N",
+                      help="timing repetitions per path; the best wall "
+                           "clock counts (default: 2)")
+    perf.add_argument("--output", default="BENCH_perf.json", metavar="PATH",
+                      help="result file (default: BENCH_perf.json)")
+    perf.add_argument("--json", action="store_true",
+                      help="print the payload as JSON instead of a table")
     return parser
 
 
@@ -258,6 +279,37 @@ def _cmd_batch(parser, args) -> int:
     return 1 if report.failures else 0
 
 
+def _cmd_perf(parser, args) -> int:
+    from repro.perf import (
+        format_bench_report,
+        run_benchmarks,
+        scenario_by_name,
+        write_bench_json,
+    )
+
+    scenarios = None
+    if args.scenarios:
+        try:
+            scenarios = [scenario_by_name(name) for name in args.scenarios]
+        except ValueError as exc:
+            parser.error(str(exc))
+    if args.repeats < 1:
+        parser.error(f"--repeats must be >= 1, got {args.repeats}")
+    payload = run_benchmarks(scenarios, duration_s=args.duration,
+                             repeats=args.repeats)
+    path = write_bench_json(payload, args.output)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_bench_report(payload))
+    print(f"wrote {path}", file=sys.stderr)
+    if not payload["all_summaries_identical"]:
+        print("error: fast path diverged from the scalar reference",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -282,6 +334,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sweep(parser, args)
     if args.command == "batch":
         return _cmd_batch(parser, args)
+    if args.command == "perf":
+        return _cmd_perf(parser, args)
     experiment = _resolve_experiment(parser, args.experiment)
     report = run_experiment(experiment, duration_s=args.duration,
                             seed=args.seed)

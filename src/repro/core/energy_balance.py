@@ -131,19 +131,29 @@ class EnergyBalancer:
         metrics = self.metrics
         local_group = domain.local_group(cpu_id)
         if self.config.use_rq_condition:
-            group_key = lambda g: metrics.group_avg_runqueue_ratio(g.cpus)
-            queue_key = lambda rq: metrics.runqueue_power_ratio(rq.cpu_id)
+            group_key = metrics.group_avg_runqueue_ratio
+            queue_key = metrics.runqueue_power_ratio
         else:
             # Temperature-only ablation: the search itself is driven by
             # the slow metric too.
-            group_key = lambda g: metrics.group_avg_thermal_ratio(g.cpus)
-            queue_key = lambda rq: metrics.thermal_power_ratio(rq.cpu_id)
-        hottest = max(domain.groups, key=group_key)
+            group_key = metrics.group_avg_thermal_ratio
+            queue_key = metrics.thermal_power_ratio
+        # max() spelled out (first maximal element wins, as max does) —
+        # this search runs for every CPU on every balance pass.
+        hottest = None
+        hottest_ratio = 0.0
+        for group in domain.groups:
+            ratio = group_key(group.cpus)
+            if hottest is None or ratio > hottest_ratio:
+                hottest, hottest_ratio = group, ratio
         if hottest is local_group:
             return 0
-        remote_rq = max(
-            (self.runqueues[c] for c in hottest.cpus), key=queue_key
-        )
+        remote_rq = None
+        remote_ratio = 0.0
+        for c in hottest.cpus:
+            ratio = queue_key(c)
+            if remote_rq is None or ratio > remote_ratio:
+                remote_rq, remote_ratio = self.runqueues[c], ratio
         local_rq = self.runqueues[cpu_id]
         moved = 0
         for _ in range(self.config.max_energy_moves):
@@ -176,8 +186,8 @@ class EnergyBalancer:
         remote_cpu, local_cpu = remote_rq.cpu_id, local_rq.cpu_id
         remote_max = m.max_power_w(remote_cpu)
         local_max = m.max_power_w(local_cpu)
-        remote_sum = sum(t.profile_power_w for t in remote_rq.tasks())
-        local_sum = sum(t.profile_power_w for t in local_rq.tasks())
+        remote_sum = m.runqueue_power_sum_w(remote_cpu)
+        local_sum = m.runqueue_power_sum_w(local_cpu)
         n_remote, n_local = remote_rq.nr_running, local_rq.nr_running
         if n_remote < 2:
             return None  # never empty a queue via energy balancing

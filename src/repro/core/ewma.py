@@ -13,11 +13,59 @@ Two variants:
   from a *time constant*, used for thermal power (§4.3): choosing
   ``tau`` equal to the RC model's ``R*C`` makes the average's step
   response track the processor temperature's exponential.
+
+The module also provides the batched kernel the tick-loop fast path
+uses: :func:`thermal_alpha` memoises the per-``(tau, dt)`` weight (the
+tick length is constant within a run, so the ``exp`` is computed once
+per distinct time constant instead of once per CPU per tick) and
+:func:`ewma_update_batch` advances a whole struct-of-arrays column of
+averages in one pass.  Both perform *exactly* the arithmetic of
+:meth:`ThermalEwma.update`, so the batched and scalar paths produce
+bit-identical values.
 """
 
 from __future__ import annotations
 
 import math
+
+from typing import Sequence
+
+#: Memoised ``1 - exp(-dt/tau)`` weights.  A run touches only a handful
+#: of (tau, dt) pairs (one per distinct heat-sink parameterisation), so
+#: the cache stays tiny.
+_ALPHA_CACHE: dict[tuple[float, float], float] = {}
+
+
+def thermal_alpha(tau_s: float, dt_s: float) -> float:
+    """The :class:`ThermalEwma` blend weight for one ``(tau, dt)`` pair.
+
+    Identical to the expression inside :meth:`ThermalEwma.update`;
+    memoised because ``exp`` dominates the scalar update's cost.
+    """
+    if tau_s <= 0:
+        raise ValueError("time constant must be positive")
+    if dt_s < 0:
+        raise ValueError("dt must be non-negative")
+    key = (tau_s, dt_s)
+    alpha = _ALPHA_CACHE.get(key)
+    if alpha is None:
+        alpha = 1.0 - math.exp(-dt_s / tau_s)
+        _ALPHA_CACHE[key] = alpha
+    return alpha
+
+
+def ewma_update_batch(
+    values: list[float], powers: Sequence[float], alphas: Sequence[float]
+) -> None:
+    """Advance a column of thermal averages in place (one per CPU).
+
+    ``values[i] += alphas[i] * (powers[i] - values[i])`` for every
+    element — the same statement :meth:`ThermalEwma.update` executes,
+    applied across the struct-of-arrays block without per-object
+    dispatch or per-call ``exp``.
+    """
+    for i, (power, alpha) in enumerate(zip(powers, alphas)):
+        values[i] += alpha * (power - values[i])
 
 
 class VariablePeriodEwma:

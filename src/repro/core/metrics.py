@@ -14,28 +14,147 @@ Per logical CPU:
   the package's maximum power is divided among its logical CPUs (§4.7).
 * the two **ratios** — each power divided by maximum power, so CPUs
   with different cooling are compared on equal footing.
+
+Layout
+------
+:class:`MetricsBoard` stores all per-CPU state as parallel
+struct-of-arrays columns (``thermal_w``, ``tau_s``, ``max_power_w``) —
+the in-memory analogue of the paper's extended ``runqueue`` struct
+fields laid side by side.  The batched tick path advances the whole
+thermal column with one :func:`repro.core.ewma.ewma_update_batch` call
+and serves runqueue-power and package-sum queries from epoch-validated
+caches; the scalar reference path performs the pre-batching per-CPU
+updates and recomputations.  Both produce bit-identical values — the
+fast accessors only memoise, never approximate.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+import math
 
-from repro.core.ewma import ThermalEwma
+from typing import Callable, Iterable, Mapping
+
+from repro.core.ewma import ewma_update_batch, thermal_alpha
 from repro.cpu.topology import Topology
 from repro.sched.runqueue import RunQueue
 
 
+class ThermalColumnView:
+    """Scalar view of one CPU's slot in the thermal EWMA column.
+
+    Presents the :class:`repro.core.ewma.ThermalEwma` interface
+    (``value_w``/``prime``/``update``/``tau_s``) over the board's
+    struct-of-arrays storage, so per-CPU call sites and tests read
+    naturally while the data stays columnar.
+    """
+
+    __slots__ = ("_values", "_taus", "_index", "_on_mutate")
+
+    def __init__(
+        self,
+        values: list[float],
+        taus: list[float],
+        index: int,
+        on_mutate: Callable[[bool], None] | None = None,
+    ) -> None:
+        self._values = values
+        self._taus = taus
+        self._index = index
+        self._on_mutate = on_mutate
+
+    @property
+    def value_w(self) -> float:
+        return self._values[self._index]
+
+    @property
+    def tau_s(self) -> float:
+        return self._taus[self._index]
+
+    @tau_s.setter
+    def tau_s(self, tau_s: float) -> None:
+        if tau_s <= 0:
+            raise ValueError("time constant must be positive")
+        self._taus[self._index] = float(tau_s)
+        if self._on_mutate is not None:
+            self._on_mutate(True)
+
+    def prime(self, value_w: float) -> None:
+        self._values[self._index] = float(value_w)
+        if self._on_mutate is not None:
+            self._on_mutate(False)
+
+    def update(self, power_w: float, dt_s: float) -> float:
+        """One scalar EWMA step (the pre-batching reference arithmetic)."""
+        if dt_s < 0:
+            raise ValueError("dt must be non-negative")
+        alpha = 1.0 - math.exp(-dt_s / self._taus[self._index])
+        self._values[self._index] += alpha * (power_w - self._values[self._index])
+        if self._on_mutate is not None:
+            self._on_mutate(False)
+        return self._values[self._index]
+
+    def __repr__(self) -> str:
+        return (
+            f"ThermalColumnView(value={self.value_w:.2f}W, tau={self.tau_s}s)"
+        )
+
+
 class CpuPowerMetrics:
-    """Power state of one logical CPU."""
+    """Power state of one logical CPU (a view over the board's columns).
 
-    __slots__ = ("cpu_id", "thermal", "max_power_w")
+    Can also be constructed standalone (it then owns single-element
+    columns), which unit tests and ad-hoc harnesses use.
+    """
 
-    def __init__(self, cpu_id: int, tau_s: float, max_power_w: float, initial_w: float) -> None:
+    __slots__ = ("cpu_id", "thermal", "_max_col", "_index", "_on_mutate")
+
+    def __init__(
+        self,
+        cpu_id: int,
+        tau_s: float,
+        max_power_w: float,
+        initial_w: float,
+    ) -> None:
         if max_power_w <= 0:
             raise ValueError("maximum power must be positive")
+        if tau_s <= 0:
+            raise ValueError("time constant must be positive")
         self.cpu_id = cpu_id
-        self.thermal = ThermalEwma(tau_s=tau_s, initial_w=initial_w)
-        self.max_power_w = max_power_w
+        self.thermal = ThermalColumnView(
+            [float(initial_w)], [float(tau_s)], 0, None
+        )
+        self._max_col = [float(max_power_w)]
+        self._index = 0
+        self._on_mutate = None
+
+    @classmethod
+    def _view(
+        cls,
+        cpu_id: int,
+        thermal: ThermalColumnView,
+        max_col: list[float],
+        index: int,
+        on_mutate: Callable[[bool], None],
+    ) -> "CpuPowerMetrics":
+        view = cls.__new__(cls)
+        view.cpu_id = cpu_id
+        view.thermal = thermal
+        view._max_col = max_col
+        view._index = index
+        view._on_mutate = on_mutate
+        return view
+
+    @property
+    def max_power_w(self) -> float:
+        return self._max_col[self._index]
+
+    @max_power_w.setter
+    def max_power_w(self, value: float) -> None:
+        if value <= 0:
+            raise ValueError("maximum power must be positive")
+        self._max_col[self._index] = float(value)
+        if self._on_mutate is not None:
+            self._on_mutate(True)
 
     @property
     def thermal_power_w(self) -> float:
@@ -43,73 +162,182 @@ class CpuPowerMetrics:
 
     @property
     def thermal_power_ratio(self) -> float:
-        return self.thermal.value_w / self.max_power_w
+        return self.thermal.value_w / self._max_col[self._index]
 
 
 class MetricsBoard:
-    """All per-CPU metrics plus the group aggregates the balancers use."""
+    """All per-CPU metrics plus the group aggregates the balancers use.
+
+    Parameters
+    ----------
+    tau_s:
+        Thermal-EWMA time constant — one float for a homogeneous
+        machine or a per-CPU mapping for heterogeneous cooling.
+    fast:
+        Enable the memoised accessors used by the batched tick path
+        (version-validated runqueue-power sums, epoch-validated package
+        thermal sums).  Values are bit-identical either way; the scalar
+        reference path keeps ``fast=False`` so its per-query cost stays
+        representative of the pre-batching implementation.
+    """
 
     def __init__(
         self,
         topology: Topology,
         runqueues: Mapping[int, RunQueue],
-        tau_s: float,
+        tau_s: float | Mapping[int, float],
         max_power_w: float | Mapping[int, float],
         initial_thermal_w: float = 0.0,
+        fast: bool = False,
     ) -> None:
         self.topology = topology
         self.runqueues = runqueues
+        self.fast = bool(fast)
         self._package_cpus: dict[int, tuple[int, ...]] = {
             pkg: tuple(topology.cpus_of_package(pkg))
             for pkg in range(topology.n_packages)
         }
-        self._cpus: dict[int, CpuPowerMetrics] = {}
+        n = len(topology)
+        # -- struct-of-arrays columns ---------------------------------------
+        self.thermal_w: list[float] = [float(initial_thermal_w)] * n
+        self.tau_s: list[float] = []
+        self.max_power: list[float] = []
         for info in topology.cpus:
+            tau = (
+                tau_s[info.cpu_id] if isinstance(tau_s, Mapping) else tau_s
+            )
+            if tau <= 0:
+                raise ValueError("time constant must be positive")
             limit = (
                 max_power_w[info.cpu_id]
                 if isinstance(max_power_w, Mapping)
                 else max_power_w
             )
-            self._cpus[info.cpu_id] = CpuPowerMetrics(
-                info.cpu_id, tau_s=tau_s, max_power_w=limit, initial_w=initial_thermal_w
-            )
+            if limit <= 0:
+                raise ValueError("maximum power must be positive")
+            self.tau_s.append(float(tau))
+            self.max_power.append(float(limit))
             # Mirror the limit onto the runqueue, as the paper stores it
             # in the extended runqueue struct (§5).
-            runqueues[info.cpu_id].max_power_w = limit
+            runqueues[info.cpu_id].max_power_w = float(limit)
+        # -- memoisation state (fast mode) -----------------------------------
+        #: bumped on every thermal-column mutation; package-sum cache key.
+        self.thermal_epoch = 0
+        self._alpha_dt: float | None = None
+        self._alphas: list[float] = []
+        self._rq_sum: list[float] = [0.0] * n
+        self._rq_sum_version: list[int] = [-1] * n
+        self._rq_ratio: list[float] = [0.0] * n
+        self._rq_ratio_version: list[int] = [-1] * n
+        self._pkg_sum: dict[int, tuple[int, float]] = {}
+        self._pkg_max: dict[int, float] = {}
+        self._views: list[CpuPowerMetrics] = [
+            CpuPowerMetrics._view(
+                info.cpu_id,
+                ThermalColumnView(
+                    self.thermal_w, self.tau_s, info.cpu_id, self._note_mutation
+                ),
+                self.max_power,
+                info.cpu_id,
+                self._note_mutation,
+            )
+            for info in topology.cpus
+        ]
+
+    def _note_mutation(self, structural: bool) -> None:
+        """A thermal value (or, if ``structural``, a tau/limit) changed."""
+        self.thermal_epoch += 1
+        if structural:
+            self._alpha_dt = None
+            self._pkg_max.clear()
+            for i in range(len(self._rq_ratio_version)):
+                self._rq_ratio_version[i] = -1
 
     # -- per-CPU ------------------------------------------------------------
     def cpu(self, cpu_id: int) -> CpuPowerMetrics:
-        return self._cpus[cpu_id]
+        return self._views[cpu_id]
 
     def update_thermal(self, cpu_id: int, power_w: float, dt_s: float) -> None:
-        """Fold one tick of estimated CPU power into thermal power."""
-        self._cpus[cpu_id].thermal.update(power_w, dt_s)
+        """Fold one tick of estimated CPU power into thermal power.
+
+        Scalar reference form: per-CPU call, per-call ``exp``.
+        """
+        if dt_s < 0:
+            raise ValueError("dt must be non-negative")
+        alpha = 1.0 - math.exp(-dt_s / self.tau_s[cpu_id])
+        self.thermal_w[cpu_id] += alpha * (power_w - self.thermal_w[cpu_id])
+        self.thermal_epoch += 1
+
+    def update_thermal_batch(self, powers_w: list[float], dt_s: float) -> None:
+        """Advance every CPU's thermal power in one batched pass.
+
+        Bit-identical to ``n`` :meth:`update_thermal` calls; the blend
+        weights are memoised per (tau, dt) and the column is updated by
+        the :mod:`repro.core.ewma` kernel.
+        """
+        if self._alpha_dt != dt_s:
+            self._alphas = [thermal_alpha(tau, dt_s) for tau in self.tau_s]
+            self._alpha_dt = dt_s
+        ewma_update_batch(self.thermal_w, powers_w, self._alphas)
+        self.thermal_epoch += 1
 
     def thermal_power_w(self, cpu_id: int) -> float:
-        return self._cpus[cpu_id].thermal_power_w
+        return self.thermal_w[cpu_id]
 
     def thermal_power_ratio(self, cpu_id: int) -> float:
-        return self._cpus[cpu_id].thermal_power_ratio
+        return self.thermal_w[cpu_id] / self.max_power[cpu_id]
 
     def max_power_w(self, cpu_id: int) -> float:
-        return self._cpus[cpu_id].max_power_w
+        return self.max_power[cpu_id]
+
+    def runqueue_power_sum_w(self, cpu_id: int) -> float:
+        """Sum of the energy-profile powers of a CPU's runnable tasks.
+
+        In fast mode the sum is memoised against the runqueue's version
+        counter (bumped on enqueue/remove/profile update), so balancer
+        passes that query the same queue repeatedly pay for one
+        traversal; recomputation performs the identical left-to-right
+        summation, so cached and fresh values are bit-identical.
+        """
+        rq = self.runqueues[cpu_id]
+        if self.fast:
+            version = rq.version
+            if self._rq_sum_version[cpu_id] == version:
+                return self._rq_sum[cpu_id]
+            total = sum(t.profile_power_w for t in rq.tasks())
+            self._rq_sum[cpu_id] = total
+            self._rq_sum_version[cpu_id] = version
+            return total
+        return sum(t.profile_power_w for t in rq.tasks())
 
     def runqueue_power_w(self, cpu_id: int) -> float:
         """Average energy-profile power over the runqueue (0 if idle)."""
         rq = self.runqueues[cpu_id]
-        n = rq.nr_running
+        n = rq.nr
         if n == 0:
             return 0.0
-        return sum(t.profile_power_w for t in rq.tasks()) / n
+        return self.runqueue_power_sum_w(cpu_id) / n
 
     def runqueue_power_ratio(self, cpu_id: int) -> float:
-        return self.runqueue_power_w(cpu_id) / self._cpus[cpu_id].max_power_w
+        if self.fast:
+            # The balancers query the same ratios many times between
+            # queue changes; memoise the finished ratio against the
+            # queue version (a structural mutation of tau/limit resets
+            # the versions).
+            version = self.runqueues[cpu_id].version
+            if self._rq_ratio_version[cpu_id] == version:
+                return self._rq_ratio[cpu_id]
+            ratio = self.runqueue_power_w(cpu_id) / self.max_power[cpu_id]
+            self._rq_ratio[cpu_id] = ratio
+            self._rq_ratio_version[cpu_id] = version
+            return ratio
+        return self.runqueue_power_w(cpu_id) / self.max_power[cpu_id]
 
     def would_be_ratio(self, cpu_id: int, extra_task_power_w: float) -> float:
         """Runqueue power ratio if a task with the given profile joined."""
         rq = self.runqueues[cpu_id]
-        total = sum(t.profile_power_w for t in rq.tasks()) + extra_task_power_w
-        return total / (rq.nr_running + 1) / self._cpus[cpu_id].max_power_w
+        total = self.runqueue_power_sum_w(cpu_id) + extra_task_power_w
+        return total / (rq.nr + 1) / self.max_power[cpu_id]
 
     # -- SMT / CMP (§4.7, §7) ---------------------------------------------------
     def package_thermal_sum_w(self, cpu_id: int) -> float:
@@ -119,22 +347,47 @@ class MetricsBoard:
         triggers on this sum against the package's full budget.  On the
         paper's machine a package is one SMT core; on the §7 CMP
         extension it covers every thread of every core on the chip.
+        In fast mode the sum is memoised per package against the
+        thermal column's epoch (it changes once per tick).
         """
         package = self.topology.package_of(cpu_id)
-        return sum(
-            self._cpus[c].thermal_power_w for c in self._package_cpus[package]
-        )
+        if self.fast:
+            cached = self._pkg_sum.get(package)
+            if cached is not None and cached[0] == self.thermal_epoch:
+                return cached[1]
+            total = sum(self.thermal_w[c] for c in self._package_cpus[package])
+            self._pkg_sum[package] = (self.thermal_epoch, total)
+            return total
+        return sum(self.thermal_w[c] for c in self._package_cpus[package])
 
     def package_max_power_w(self, cpu_id: int) -> float:
         """Full package budget: sum of the per-logical-CPU shares."""
         package = self.topology.package_of(cpu_id)
-        return sum(
-            self._cpus[c].max_power_w for c in self._package_cpus[package]
-        )
+        if self.fast:
+            cached = self._pkg_max.get(package)
+            if cached is not None:
+                return cached
+            total = sum(self.max_power[c] for c in self._package_cpus[package])
+            self._pkg_max[package] = total
+            return total
+        return sum(self.max_power[c] for c in self._package_cpus[package])
 
     # -- group aggregates -----------------------------------------------------
     def group_avg_runqueue_ratio(self, cpus: Iterable[int]) -> float:
         cpus = list(cpus)
+        if self.fast:
+            # Same left-to-right accumulation as the scalar branch,
+            # reading the version-validated ratio cache directly.
+            versions = self._rq_ratio_version
+            ratios = self._rq_ratio
+            runqueues = self.runqueues
+            total = 0.0
+            for c in cpus:
+                if versions[c] == runqueues[c].version:
+                    total += ratios[c]
+                else:
+                    total += self.runqueue_power_ratio(c)
+            return total / len(cpus)
         return sum(self.runqueue_power_ratio(c) for c in cpus) / len(cpus)
 
     def group_avg_thermal_ratio(self, cpus: Iterable[int]) -> float:
@@ -142,4 +395,68 @@ class MetricsBoard:
         return sum(self.thermal_power_ratio(c) for c in cpus) / len(cpus)
 
     def system_avg_runqueue_ratio(self) -> float:
-        return self.group_avg_runqueue_ratio(self._cpus.keys())
+        return self.group_avg_runqueue_ratio(range(len(self.thermal_w)))
+
+
+class CpuStateBlock:
+    """The simulator's struct-of-arrays per-tick state (§5's runqueue
+    fields, laid out as parallel columns).
+
+    Groups every column the batched tick path touches: the board's
+    scheduler-visible metrics (runqueue power, thermal power, maximum
+    power), the execution step's per-CPU scratch (running flags,
+    estimated and dynamic power, frequency scale), the throttle
+    controller's state column, and the per-package temperatures.  The
+    lists are *shared*, not copied — :class:`MetricsBoard`, the
+    :class:`repro.cpu.throttle.ThrottleController`, and
+    :class:`repro.system.System` all index into the same storage, so
+    the block is a window onto live state, not a snapshot.
+    """
+
+    __slots__ = (
+        "thermal_w",
+        "max_power_w",
+        "est_power_w",
+        "dyn_power_w",
+        "running",
+        "freq_scale",
+        "throttled",
+        "pkg_temp_c",
+        "pkg_est_temp_c",
+        "pkg_est_power_w",
+    )
+
+    def __init__(
+        self,
+        thermal_w: list[float],
+        max_power_w: list[float],
+        est_power_w: list[float],
+        dyn_power_w: list[float],
+        running: list[bool],
+        freq_scale: list[float],
+        throttled: list[bool],
+        pkg_temp_c: list[float],
+        pkg_est_temp_c: list[float],
+        pkg_est_power_w: list[float],
+    ) -> None:
+        self.thermal_w = thermal_w
+        self.max_power_w = max_power_w
+        self.est_power_w = est_power_w
+        self.dyn_power_w = dyn_power_w
+        self.running = running
+        self.freq_scale = freq_scale
+        self.throttled = throttled
+        self.pkg_temp_c = pkg_temp_c
+        self.pkg_est_temp_c = pkg_est_temp_c
+        self.pkg_est_power_w = pkg_est_power_w
+
+    @property
+    def n_cpus(self) -> int:
+        return len(self.thermal_w)
+
+    @property
+    def n_packages(self) -> int:
+        return len(self.pkg_temp_c)
+
+    def __repr__(self) -> str:
+        return f"CpuStateBlock(cpus={self.n_cpus}, packages={self.n_packages})"

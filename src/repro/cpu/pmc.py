@@ -80,12 +80,50 @@ class CounterBank:
         """
         if cycles < 0:
             raise ValueError("cycles must be non-negative")
+        jitter = self.draw_jitter(cycles)
         increments = rates_per_cycle * cycles
-        if self._jitter_sigma and cycles > 0:
-            jitter = 1.0 + self._rng.gauss(0.0, self._jitter_sigma)
-            increments = increments * max(0.0, jitter)
+        if jitter != 1.0:
+            increments = increments * jitter
         self._counts = (self._counts + increments) % self._modulus
         return increments
+
+    def draw_jitter(self, cycles: float) -> float:
+        """The multiplicative jitter factor for one accounting interval.
+
+        Split out of :meth:`account` so the batched tick path can reuse
+        a cached unjittered increment vector: the tick loop draws the
+        factor here (consuming the same RNG sequence as :meth:`account`)
+        and credits ``base_increments * jitter`` via :meth:`credit`.
+        """
+        if self._jitter_sigma and cycles > 0:
+            return max(0.0, 1.0 + self._rng.gauss(0.0, self._jitter_sigma))
+        return 1.0
+
+    def credit(self, increments: np.ndarray) -> None:
+        """Fold precomputed per-event increments into the counters."""
+        counts = self._counts
+        counts += increments
+        counts %= self._modulus
+
+    def bind_row(self, row: np.ndarray) -> None:
+        """Re-point counter storage at a shared matrix row.
+
+        The batched tick path stacks all banks of a system into one
+        matrix so the wraparound reduction runs once per tick instead of
+        once per credit.  The current counts are copied into ``row``;
+        afterwards all in-place mutation happens through the shared
+        storage, so :meth:`credit` and matrix-level updates see the same
+        numbers.
+        """
+        if row.shape != self._counts.shape:
+            raise ValueError("row shape does not match the counter bank")
+        row[:] = self._counts
+        self._counts = row
+
+    @property
+    def modulus(self) -> float:
+        """Wraparound modulus (``2**counter_bits``)."""
+        return self._modulus
 
     def snapshot(self) -> CounterSnapshot:
         """Read all counters atomically (returns a copy)."""

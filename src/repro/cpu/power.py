@@ -186,6 +186,82 @@ class LinearEnergyEstimator:
             raise ValueError("busy time must be positive for a power estimate")
         return self.energy_j(counter_deltas, busy_s, base_share) / busy_s
 
+    # -- per-tick factored form (the simulator's hot path) ---------------------
+    def unit_energy_nj(self, counter_deltas: np.ndarray) -> float:
+        """Weighted event energy in nanojoules, before jitter/DVFS scaling.
+
+        The tick loop factors Eq. 1 as ``base + unit * scale``: counter
+        jitter and the DVFS voltage correction are multiplicative on the
+        whole event term, so the dot product over the *unjittered*
+        increments can be computed once per (mix, cycles) pair and
+        rescaled each tick.  Both the scalar and the batched tick paths
+        use this factored form, which keeps them bit-identical.
+        """
+        return float(self.weights_nj @ counter_deltas)
+
+    def tick_energy_j(
+        self, unit_nj: float, scale: float, busy_s: float, base_share: float
+    ) -> float:
+        """Eq. 1 energy for one tick from a precomputed unit energy.
+
+        ``scale`` carries the tick's multiplicative factors (counter
+        jitter, and ``freq_scale**2`` under DVFS).
+        """
+        return self.base_w * busy_s * base_share + unit_nj * scale * 1e-9
+
+
+class TickEnergyCache:
+    """Memoised per-(mix, cycles) tick quantities for the batched path.
+
+    A task's instruction mix object is immutable and changes only on
+    phase transitions or wobble resamples (every ~10 ticks), while the
+    per-tick cycle count takes one of a handful of values (solo, SMT,
+    DVFS-scaled).  Each entry carries everything the execution step
+    derives purely from (mix, cycles): the unjittered counter increments
+    ``rates * cycles``, their weighted unit energy, and the mix's
+    ground-truth dynamic power — removing the per-tick numpy allocation
+    and two dot products from the hot loop.
+
+    Entries key on ``id(mix)`` and verify identity on lookup while
+    holding a strong reference to the mix, so a recycled ``id`` can
+    never alias a dead entry (same discipline as the dynamic-power
+    cache in :class:`repro.system.System`).  ``cache`` is public so the
+    tick loop can probe it without a method call; use :meth:`lookup`
+    everywhere else.
+    """
+
+    #: entry layout: (mix, base_increments, unit_energy_nj, dynamic_power_w)
+    Entry = tuple[object, np.ndarray, float, float]
+
+    def __init__(
+        self,
+        estimator: LinearEnergyEstimator,
+        power: GroundTruthPower,
+        freq_hz: float,
+    ) -> None:
+        self._estimator = estimator
+        self._power = power
+        self._freq_hz = freq_hz
+        self.cache: dict[tuple[int, float], TickEnergyCache.Entry] = {}
+
+    def miss(self, mix, cycles: float) -> "TickEnergyCache.Entry":
+        """Compute, store, and return the entry for a (mix, cycles) pair."""
+        base_increments = mix.rates_per_cycle * cycles
+        unit_nj = self._estimator.unit_energy_nj(base_increments)
+        dyn_w = self._power.dynamic_power_w(mix.rates_per_cycle, self._freq_hz)
+        if len(self.cache) > 8192:
+            self.cache.clear()
+        entry = (mix, base_increments, unit_nj, dyn_w)
+        self.cache[(id(mix), cycles)] = entry
+        return entry
+
+    def lookup(self, mix, cycles: float) -> "TickEnergyCache.Entry":
+        """The entry for a mix at a cycle count (cached or computed)."""
+        entry = self.cache.get((id(mix), cycles))
+        if entry is not None and entry[0] is mix:
+            return entry
+        return self.miss(mix, cycles)
+
 
 @dataclass(frozen=True, slots=True)
 class CalibrationSample:

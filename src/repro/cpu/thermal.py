@@ -23,6 +23,46 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from typing import Sequence
+
+#: Memoised ``exp(-dt/tau)`` decay factors, keyed by (tau, dt).  One
+#: entry per distinct heat-sink parameterisation per tick length.
+_DECAY_CACHE: dict[tuple[float, float], float] = {}
+
+
+def rc_decay(tau_s: float, dt_s: float) -> float:
+    """The per-interval decay factor of the RC step response.
+
+    Exactly the ``exp`` evaluated inside :meth:`ThermalRC.step`,
+    memoised for the batched tick path (the tick length is constant
+    within a run, so each package's decay is computed once).
+    """
+    if tau_s <= 0:
+        raise ValueError("time constant must be positive")
+    if dt_s < 0:
+        raise ValueError("dt must be non-negative")
+    key = (tau_s, dt_s)
+    decay = _DECAY_CACHE.get(key)
+    if decay is None:
+        decay = math.exp(-dt_s / tau_s)
+        _DECAY_CACHE[key] = decay
+    return decay
+
+
+def rc_step_batch(
+    rcs: Sequence["ThermalRC"],
+    powers_w: Sequence[float],
+    decays: Sequence[float],
+    out: list[float],
+) -> None:
+    """Advance one RC network per package in a single pass.
+
+    Performs :meth:`ThermalRC.step`'s arithmetic with the decay factor
+    precomputed, writing the new temperatures into the ``out`` column
+    (the struct-of-arrays temperature block) as well as the objects.
+    """
+    for i, (rc, power_w, decay) in enumerate(zip(rcs, powers_w, decays)):
+        out[i] = rc.step_with_decay(power_w, decay)
 
 
 @dataclass(frozen=True, slots=True)
@@ -73,10 +113,14 @@ class ThermalParams:
 class ThermalRC:
     """Integrates the RC network for one package."""
 
-    __slots__ = ("params", "_temp_c")
+    __slots__ = ("params", "_temp_c", "_ambient_c", "_r_k_per_w")
 
     def __init__(self, params: ThermalParams, initial_c: float | None = None) -> None:
         self.params = params
+        # Cached for the per-tick integration step (saves two attribute
+        # hops per call on the hot path; same floats as the params).
+        self._ambient_c = params.ambient_c
+        self._r_k_per_w = params.r_k_per_w
         self._temp_c = params.ambient_c if initial_c is None else float(initial_c)
 
     @property
@@ -94,6 +138,19 @@ class ThermalRC:
         p = self.params
         target = p.steady_state_c(power_w)
         decay = math.exp(-dt_s / p.tau_s)
+        self._temp_c = target + (self._temp_c - target) * decay
+        return self._temp_c
+
+    def step_with_decay(self, power_w: float, decay: float) -> float:
+        """:meth:`step` with the interval's decay factor precomputed.
+
+        The batched tick path hoists ``exp(-dt/tau)`` out of the loop
+        via :func:`rc_decay`; the remaining arithmetic is identical to
+        :meth:`step` (the target expression is ``steady_state_c``
+        spelled out on cached operands), so both paths integrate
+        bit-identically.
+        """
+        target = self._ambient_c + power_w * self._r_k_per_w
         self._temp_c = target + (self._temp_c - target) * decay
         return self._temp_c
 

@@ -70,7 +70,8 @@ class ThrottleController:
             raise ValueError("need at least one CPU")
         self.config = config if config is not None else ThrottleConfig()
         self.n_cpus = n_cpus
-        self._throttled = [False] * n_cpus
+        #: public struct-of-arrays column: throttle state per logical CPU
+        self.throttled = [False] * n_cpus
         self._throttled_ticks = [0] * n_cpus
         self._total_ticks = [0] * n_cpus
 
@@ -79,18 +80,18 @@ class ThrottleController:
         self._total_ticks[cpu_id] += 1
         if not self.config.enabled:
             return False
-        if self._throttled[cpu_id]:
+        if self.throttled[cpu_id]:
             if thermal_power_w <= limit_w - self.config.hysteresis_w:
-                self._throttled[cpu_id] = False
+                self.throttled[cpu_id] = False
         else:
             if thermal_power_w > limit_w:
-                self._throttled[cpu_id] = True
-        if self._throttled[cpu_id]:
+                self.throttled[cpu_id] = True
+        if self.throttled[cpu_id]:
             self._throttled_ticks[cpu_id] += 1
-        return self._throttled[cpu_id]
+        return self.throttled[cpu_id]
 
     def is_throttled(self, cpu_id: int) -> bool:
-        return self._throttled[cpu_id]
+        return self.throttled[cpu_id]
 
     def throttled_fraction(self, cpu_id: int) -> float:
         """Fraction of elapsed time this CPU spent halted (Table 3)."""

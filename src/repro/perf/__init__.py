@@ -1,0 +1,47 @@
+"""Performance benchmarking of the tick loop.
+
+The harness runs pinned reference scenarios twice — once through the
+batched fast path, once through the scalar reference path — reports
+ticks/sec and wall-clock for each, asserts that the two paths produce
+byte-identical ``scalar_summary()`` dicts, and writes the results to
+``BENCH_perf.json`` so successive PRs accumulate a performance
+trajectory.
+
+    from repro.perf import run_benchmarks, write_bench_json
+
+    payload = run_benchmarks()
+    write_bench_json(payload)
+
+or, from the command line::
+
+    python -m repro perf
+    python -m repro perf --scenario mixed-16cpu --duration 60
+"""
+
+from repro.perf.harness import (
+    BenchScenarioResult,
+    format_bench_report,
+    run_benchmarks,
+    run_scenario,
+    strip_timings,
+    write_bench_json,
+)
+from repro.perf.scenarios import (
+    HEADLINE_SCENARIO,
+    REFERENCE_SCENARIOS,
+    PerfScenario,
+    scenario_by_name,
+)
+
+__all__ = [
+    "BenchScenarioResult",
+    "HEADLINE_SCENARIO",
+    "PerfScenario",
+    "REFERENCE_SCENARIOS",
+    "format_bench_report",
+    "run_benchmarks",
+    "run_scenario",
+    "scenario_by_name",
+    "strip_timings",
+    "write_bench_json",
+]

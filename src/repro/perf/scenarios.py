@@ -1,0 +1,128 @@
+"""Pinned reference scenarios for the perf harness.
+
+Each scenario fixes machine, workload, policy, seed, and simulated
+duration, so successive benchmark runs measure the same work and their
+non-timing outputs are bitwise reproducible.  The set deliberately
+covers the distinct tick-loop regimes: SMT and non-SMT topologies, both
+policies, ``hlt`` and DVFS throttling, and per-logical-CPU versus
+per-package power budgets — a fast-path regression in any regime fails
+the harness's identity assertion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SystemConfig
+from repro.core.policy import Policy
+from repro.cpu.throttle import ThrottleConfig
+from repro.cpu.topology import MachineSpec
+from repro.workloads.generator import WorkloadSpec, mixed_table2_workload
+
+
+@dataclass(frozen=True, slots=True)
+class PerfScenario:
+    """One pinned benchmark configuration."""
+
+    name: str
+    description: str
+    policy: Policy
+    duration_s: float
+
+    def build(self) -> tuple[SystemConfig, WorkloadSpec]:
+        """Fresh (config, workload) for one run."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class _Mixed16(PerfScenario):
+    smt: bool = True
+    seed: int = 42
+    slots_per_class: int = 6
+    max_power_per_cpu_w: float | None = None
+    throttle_scope: str | None = None
+    throttle_mode: str | None = None
+
+    def build(self) -> tuple[SystemConfig, WorkloadSpec]:
+        throttle = None
+        if self.throttle_scope is not None or self.throttle_mode is not None:
+            throttle = ThrottleConfig(
+                enabled=True,
+                scope=self.throttle_scope or "logical",
+                mode=self.throttle_mode or "hlt",
+            )
+        kwargs = {
+            "machine": MachineSpec.ibm_x445(smt=self.smt),
+            "seed": self.seed,
+        }
+        if self.max_power_per_cpu_w is not None:
+            kwargs["max_power_per_cpu_w"] = self.max_power_per_cpu_w
+        if throttle is not None:
+            kwargs["throttle"] = throttle
+        return SystemConfig(**kwargs), mixed_table2_workload(self.slots_per_class)
+
+
+#: The scenario the speedup target is defined on: 16 logical CPUs, the
+#: Table 2 mixed workload, energy-aware balancing.
+HEADLINE_SCENARIO = "mixed-16cpu"
+
+REFERENCE_SCENARIOS: tuple[PerfScenario, ...] = (
+    _Mixed16(
+        name=HEADLINE_SCENARIO,
+        description="16-CPU SMT, mixed Table-2 workload, energy policy",
+        policy=Policy.ENERGY,
+        duration_s=300.0,
+    ),
+    _Mixed16(
+        name="mixed-16cpu-baseline",
+        description="16-CPU SMT, mixed Table-2 workload, baseline policy",
+        policy=Policy.BASELINE,
+        duration_s=100.0,
+    ),
+    _Mixed16(
+        name="mixed-8cpu-nosmt",
+        description="8-CPU non-SMT, mixed Table-2 workload, energy policy",
+        policy=Policy.ENERGY,
+        duration_s=100.0,
+        smt=False,
+        seed=7,
+        slots_per_class=4,
+    ),
+    _Mixed16(
+        name="throttle-hlt",
+        description="16-CPU SMT with 20 W/CPU budget, hlt throttling",
+        policy=Policy.ENERGY,
+        duration_s=100.0,
+        seed=11,
+        max_power_per_cpu_w=20.0,
+        throttle_scope="logical",
+    ),
+    _Mixed16(
+        name="throttle-package",
+        description="16-CPU SMT with 40 W/package budget, hlt throttling",
+        policy=Policy.ENERGY,
+        duration_s=100.0,
+        seed=11,
+        max_power_per_cpu_w=20.0,
+        throttle_scope="package",
+    ),
+    _Mixed16(
+        name="throttle-dvfs",
+        description="16-CPU SMT with 20 W/CPU budget, DVFS throttling",
+        policy=Policy.ENERGY,
+        duration_s=100.0,
+        seed=13,
+        max_power_per_cpu_w=20.0,
+        throttle_mode="dvfs",
+    ),
+)
+
+
+def scenario_by_name(name: str) -> PerfScenario:
+    """Look up a reference scenario; raises ``ValueError`` with the
+    valid names otherwise."""
+    for scenario in REFERENCE_SCENARIOS:
+        if scenario.name == name:
+            return scenario
+    valid = ", ".join(s.name for s in REFERENCE_SCENARIOS)
+    raise ValueError(f"unknown perf scenario {name!r}; expected one of {valid}")

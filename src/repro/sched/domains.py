@@ -15,7 +15,7 @@ tell the scheduler to skip energy balancing between siblings (§4.7).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.cpu.topology import Topology
 
@@ -46,6 +46,9 @@ class SchedDomain:
     span: tuple[int, ...]
     groups: tuple[CpuGroup, ...]
     smt_level: bool = False
+    #: cpu -> group lookup; balancing passes resolve the local group on
+    #: every invocation, so this must not be a linear scan
+    _group_of: dict = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.groups) < 2:
@@ -53,13 +56,16 @@ class SchedDomain:
         covered = sorted(c for g in self.groups for c in g.cpus)
         if covered != sorted(self.span):
             raise ValueError(f"domain {self.name!r}: groups do not partition span")
+        object.__setattr__(
+            self, "_group_of", {c: g for g in self.groups for c in g.cpus}
+        )
 
     def local_group(self, cpu_id: int) -> CpuGroup:
         """The group containing ``cpu_id``."""
-        for group in self.groups:
-            if cpu_id in group:
-                return group
-        raise ValueError(f"CPU {cpu_id} not in domain {self.name!r}")
+        group = self._group_of.get(cpu_id)
+        if group is None:
+            raise ValueError(f"CPU {cpu_id} not in domain {self.name!r}")
+        return group
 
 
 class DomainHierarchy:

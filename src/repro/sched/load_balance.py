@@ -54,7 +54,10 @@ class LoadBalanceConfig:
 
 def group_load(group: CpuGroup, runqueues: Mapping[int, RunQueue]) -> float:
     """Average runqueue length per CPU of the group."""
-    return sum(runqueues[c].nr_running for c in group.cpus) / len(group)
+    total = 0
+    for c in group.cpus:
+        total += runqueues[c].nr
+    return total / len(group.cpus)
 
 
 def find_busiest_group(
@@ -79,11 +82,19 @@ def find_busiest_group(
 def find_busiest_queue(
     group: CpuGroup, runqueues: Mapping[int, RunQueue]
 ) -> RunQueue:
-    """Longest runqueue within a group (ties to the lowest CPU id)."""
-    return max(
-        (runqueues[c] for c in group.cpus),
-        key=lambda rq: (rq.nr_running, -rq.cpu_id),
-    )
+    """Longest runqueue within a group (ties to the lowest CPU id).
+
+    Group CPU tuples are sorted ascending, so keeping the first strictly
+    longest queue resolves ties exactly like ``max`` keyed on
+    ``(nr, -cpu_id)`` did.
+    """
+    busiest: RunQueue | None = None
+    busiest_nr = -1
+    for c in group.cpus:
+        rq = runqueues[c]
+        if rq.nr > busiest_nr:
+            busiest, busiest_nr = rq, rq.nr
+    return busiest
 
 
 def default_selector(src: RunQueue, dst: RunQueue, n: int) -> Sequence[Task]:
@@ -116,7 +127,7 @@ def load_balance_pass(
         if busiest_group is None:
             continue
         busiest_rq = find_busiest_queue(busiest_group, runqueues)
-        diff = busiest_rq.nr_running - local_rq.nr_running
+        diff = busiest_rq.nr - local_rq.nr
         if diff < config.min_imbalance:
             continue
         n_to_move = min(diff // 2, config.max_moves_per_pass)

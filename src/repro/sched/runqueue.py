@@ -22,7 +22,7 @@ from repro.sched.task import Task, TaskState
 class RunQueue:
     """Runqueue of one logical CPU."""
 
-    __slots__ = ("cpu_id", "current", "_queue", "max_power_w")
+    __slots__ = ("cpu_id", "current", "_queue", "max_power_w", "version", "nr")
 
     def __init__(self, cpu_id: int, max_power_w: float = float("inf")) -> None:
         self.cpu_id = cpu_id
@@ -30,12 +30,18 @@ class RunQueue:
         self._queue: deque[Task] = deque()
         #: maximum sustainable power of this CPU (§4.3); set per experiment
         self.max_power_w = max_power_w
+        #: bumped whenever queue membership or a member's profile changes;
+        #: cache key for the board's memoised runqueue-power sums
+        self.version = 0
+        #: runnable-task count (current + queued), maintained on every
+        #: mutation so hot paths read an attribute instead of recounting
+        self.nr = 0
 
     # -- state --------------------------------------------------------------
     @property
     def nr_running(self) -> int:
         """Number of runnable tasks owned by this queue (incl. current)."""
-        return len(self._queue) + (1 if self.current is not None else 0)
+        return self.nr
 
     @property
     def is_idle(self) -> bool:
@@ -62,6 +68,8 @@ class RunQueue:
         task.cpu = self.cpu_id
         task.state = TaskState.READY
         self._queue.append(task)
+        self.version += 1
+        self.nr += 1
 
     def pick_next(self, eligible=None) -> Task | None:
         """Dispatch: rotate the current task to the tail, run the head.
@@ -71,6 +79,13 @@ class RunQueue:
         qualifies the CPU stays without a current task — the ineligible
         tasks remain queued and still count toward ``nr_running``.
         """
+        # Rotation changes tasks() iteration order, which changes the
+        # floating-point summation order of the runqueue power sum, so
+        # it must invalidate cached sums even though membership is the
+        # same.  (An idle CPU calls this every tick; skip the bump when
+        # there is nothing to rotate.)
+        if self.current is not None or self._queue:
+            self.version += 1
         if self.current is not None:
             self.current.state = TaskState.READY
             self._queue.append(self.current)
@@ -96,6 +111,8 @@ class RunQueue:
         if task is not None:
             task.state = TaskState.READY
             self.current = None
+            self.version += 1
+            self.nr -= 1
         return task
 
     def remove(self, task: Task) -> None:
@@ -110,6 +127,8 @@ class RunQueue:
                     f"task pid={task.pid} not on runqueue of CPU {self.cpu_id}"
                 ) from None
         task.cpu = -1
+        self.version += 1
+        self.nr -= 1
 
     def __contains__(self, task: Task) -> bool:
         return task is self.current or task in self._queue

@@ -65,8 +65,15 @@ class CounterSet:
     def add(self, name: str, amount: int = 1) -> None:
         self._counts[name] += amount
 
-    def get(self, name: str) -> int:
-        return self._counts.get(name, 0)
+    def get(self, name: str, default: int = 0) -> int:
+        """Current count; ``default`` for a never-incremented counter.
+
+        Counters only exist once :meth:`add` touches them, so consumers
+        reading before the first event (zero-duration runs, idle
+        workloads, reasons that never fired) must get 0 — never ``None``
+        — or downstream arithmetic like ``scalar_summary`` breaks.
+        """
+        return self._counts.get(name, default)
 
     def as_dict(self) -> dict[str, int]:
         return dict(self._counts)

@@ -23,22 +23,26 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.config import SystemConfig
 from repro.core.containers import ContainerConfig, ContainerManager
-from repro.core.metrics import MetricsBoard
+from repro.core.metrics import CpuStateBlock, MetricsBoard
 from repro.core.policy import (
     BaselinePolicy,
     EnergyAwareConfig,
     EnergyAwarePolicy,
+    Policy,
     SchedulingPolicy,
 )
 from repro.core.profile import EnergyProfile
 from repro.core.estimator import build_calibrated_estimator
 from repro.cpu.dvfs import DvfsController, dynamic_power_scale
 from repro.cpu.frequency import ExecutionModel
+from repro.cpu.events import N_EVENTS
 from repro.cpu.pmc import CounterBank
-from repro.cpu.power import GroundTruthPower
-from repro.cpu.thermal import ThermalDiode, ThermalRC
+from repro.cpu.power import GroundTruthPower, TickEnergyCache
+from repro.cpu.thermal import ThermalDiode, ThermalRC, rc_decay
 from repro.cpu.throttle import ThrottleController
 from repro.cpu.topology import Topology
 from repro.sched.domains import build_domains
@@ -71,15 +75,22 @@ class System:
         self,
         config: SystemConfig,
         workload: WorkloadSpec,
-        policy: str = "energy",
+        policy: Policy | str = Policy.ENERGY,
         policy_config: EnergyAwareConfig | None = None,
         tracer: Tracer | None = None,
+        fast_path: bool = True,
     ) -> None:
-        if policy not in ("energy", "baseline"):
-            raise ValueError(f"unknown policy {policy!r}")
+        policy = Policy.coerce(policy)
+        if policy is Policy.BASELINE and policy_config is not None:
+            raise ValueError(
+                "policy_config configures the energy-aware scheduler and is "
+                "meaningless with policy='baseline'; pass policy='energy' or "
+                "drop policy_config"
+            )
         self.config = config
         self.workload = workload
-        self.policy_name = policy
+        self.policy_name = policy.value
+        self.fast_path = bool(fast_path)
         self.tracer = tracer if tracer is not None else Tracer(config.sample_interval_s)
         self.rng = RngFactory(config.seed)
         spec = config.machine
@@ -132,20 +143,17 @@ class System:
             c: config.thermal_for_package(self.topology.package_of(c)).tau_s
             for c in range(self.n_cpus)
         }
-        # MetricsBoard takes a single tau; allow heterogeneity by building
-        # with the first and fixing up each CPU's EWMA afterwards.
         self.metrics = MetricsBoard(
             self.topology,
             self.runqueues,
-            tau_s=tau_by_cpu[0],
+            tau_s=tau_by_cpu,
             max_power_w=max_power,
             initial_thermal_w=self._halted_share_w,
+            fast=self.fast_path,
         )
-        for c, tau in tau_by_cpu.items():
-            self.metrics.cpu(c).thermal.tau_s = tau
 
         self.policy: SchedulingPolicy
-        if policy == "energy":
+        if policy is Policy.ENERGY:
             self.policy = EnergyAwarePolicy(
                 self.metrics,
                 self.hierarchy,
@@ -181,10 +189,72 @@ class System:
         self._busy_ticks = [0] * self.n_cpus
         self._total_ticks = 0
         self._est_pkg_power = [0.0] * spec.n_packages
+        self._pkg_temp_c = list(idle_temps)
+        self._pkg_est_temp_c = list(idle_temps)
         self.diode = ThermalDiode()
         self._now_ms = 0
         self.max_temp_err_k = 0.0
         self.max_temp_seen_c = max(idle_temps)
+
+        # -- struct-of-arrays state block ---------------------------------------
+        # All columns are shared by reference with the board, the throttle
+        # controller, and the per-tick lists above; the block is a live
+        # window onto the machine state, advanced wholesale by the batched
+        # tick path.
+        self.state = CpuStateBlock(
+            thermal_w=self.metrics.thermal_w,
+            max_power_w=self.metrics.max_power,
+            est_power_w=self._est_power,
+            dyn_power_w=self._dyn_power,
+            running=self._running,
+            freq_scale=self._freq_scale,
+            throttled=self.throttle.throttled,
+            pkg_temp_c=self._pkg_temp_c,
+            pkg_est_temp_c=self._pkg_est_temp_c,
+            pkg_est_power_w=self._est_pkg_power,
+        )
+
+        # -- fast-path scratch ---------------------------------------------------
+        # Hoisted topology tables (pure lookups, identical values to the
+        # Topology methods the scalar path calls) and memoisation keyed on
+        # the tick length, which is constant within a run.
+        self._pkg_cpus = [
+            tuple(self.topology.cpus_of_package(p)) for p in range(spec.n_packages)
+        ]
+        self._pkg_of = [self.topology.package_of(c) for c in range(self.n_cpus)]
+        self._siblings = [tuple(self.topology.siblings_of(c)) for c in range(self.n_cpus)]
+        self._meter_rngs = [
+            self.rng.stream(f"meter:{pkg}") for pkg in range(spec.n_packages)
+        ]
+        self._meter_gauss = [r.gauss for r in self._meter_rngs]
+        self._rq_list = [self.runqueues[c] for c in range(self.n_cpus)]
+        self._tick_cache = TickEnergyCache(
+            self.estimator, self.power, self.exec_model.freq_hz
+        )
+        # Bound gauss methods of the per-CPU PMC jitter streams — the
+        # factory caches streams, so these are the very same RNG objects
+        # the counter banks draw from.
+        self._pmc_gauss = [
+            self.rng.stream(f"pmc:{c}").gauss for c in range(self.n_cpus)
+        ]
+        # The container manager only ever holds tasks whose slot carries a
+        # power cap, and respawns reuse the same slot specs, so a capless
+        # workload keeps it empty for the whole run.
+        self._has_power_caps = any(
+            s.power_cap_w is not None for s in workload.tasks
+        )
+        # All counter banks share one counts matrix so the batched path
+        # can apply the wraparound modulus once per tick; the per-bank
+        # credit path mutates its row in place and stays equivalent.
+        self._counts_mx = np.zeros((self.n_cpus, N_EVENTS))
+        for c, bank in enumerate(self.banks):
+            bank.bind_row(self._counts_mx[c])
+        self._bank_rows = [self._counts_mx[c] for c in range(self.n_cpus)]
+        self._counter_modulus = self.banks[0].modulus
+        self._thermal_in_w = [0.0] * self.n_cpus
+        self._cycles_for_dt: tuple[float, float, float] | None = None
+        self._rc_decay_dt: float | None = None
+        self._rc_decays: list[float] = []
 
         # Tick periods.
         tick = config.tick_ms
@@ -200,13 +270,17 @@ class System:
     def tick(self, clock: Clock) -> None:
         now_ms = clock.now_ms
         self._now_ms = now_ms
-        if len(self.containers):
+        if self._has_power_caps and len(self.containers):
             self.containers.refill_all(clock.tick_s)
         self._wake_due(now_ms)
         self._fork_due(now_ms)
         self._dispatch()
-        self._execute(clock)
-        self._thermal_step(clock)
+        if self.fast_path:
+            self._execute_fast(clock)
+            self._thermal_step_fast(clock)
+        else:
+            self._execute(clock)
+            self._thermal_step(clock)
         self._throttle_step(clock)
         self._housekeeping(clock)
         if clock.ticks % self._sample_every == 0:
@@ -290,9 +364,13 @@ class System:
         return timeslice_ms(task.nice, self.config.timeslice_ms)
 
     def _dispatch(self) -> None:
-        eligible = self.containers.eligible if len(self.containers) else None
-        for rq in self.runqueues.values():
-            if rq.current is None:
+        eligible = (
+            self.containers.eligible
+            if self._has_power_caps and len(self.containers)
+            else None
+        )
+        for rq in self._rq_list:
+            if rq.current is None and rq.nr:
                 task = rq.pick_next(eligible)
                 if task is not None and task.timeslice_remaining_ms <= 0:
                     task.timeslice_remaining_ms = self._timeslice_for(task)
@@ -329,13 +407,21 @@ class System:
                 # DVFS: work slows linearly, dynamic power cubically.
                 cycles *= scale
                 dyn_w *= dynamic_power_scale(scale)
-            increments = self.banks[c].account(mix.rates_per_cycle, cycles)
+            bank = self.banks[c]
+            jitter = bank.draw_jitter(cycles)
+            base_increments = mix.rates_per_cycle * cycles
+            unit_nj = self.estimator.unit_energy_nj(base_increments)
+            bank.credit(
+                base_increments if jitter == 1.0 else base_increments * jitter
+            )
             # The kernel set the frequency, so it corrects the per-event
             # energy for the lower voltage (counts already carry one
-            # factor of the frequency).
-            est_counts = increments if scale == 1.0 else increments * scale * scale
-            est_e = self.estimator.energy_j(
-                est_counts, tick_s, base_share=1.0 / n_busy_threads
+            # factor of the frequency).  Jitter and the voltage correction
+            # are multiplicative on the whole event term (Eq. 1 factored
+            # form) — the batched path computes the identical expression.
+            scale_factor = jitter if scale == 1.0 else jitter * (scale * scale)
+            est_e = self.estimator.tick_energy_j(
+                unit_nj, scale_factor, tick_s, 1.0 / n_busy_threads
             )
             if len(self.containers):
                 self.containers.charge(task, est_e)
@@ -374,6 +460,169 @@ class System:
                 nxt = rq.pick_next(eligible)
                 if nxt is not None and nxt.timeslice_remaining_ms <= 0:
                     nxt.timeslice_remaining_ms = self._timeslice_for(nxt)
+
+    def _execute_fast(self, clock: Clock) -> None:
+        """The batched execution step.
+
+        Performs exactly the arithmetic of :meth:`_execute` — the Eq. 1
+        factored energy, the same RNG draws in the same order — over the
+        struct-of-arrays columns, with the per-tick invariants hoisted:
+        effective cycle counts are memoised per tick length, per-(mix,
+        cycles) counter increments and unit energies come from the
+        :class:`~repro.cpu.power.TickEnergyCache`, and attribute lookups
+        are bound once per tick instead of once per CPU.
+        """
+        tick_s = clock.tick_s
+        tick_ms = clock.tick_ms
+        now_ms = self._now_ms
+        n_cpus = self.n_cpus
+        rq_list = self._rq_list
+        running = self._running
+        throttled = self.throttle.throttled
+        est_power = self._est_power
+        dyn_power = self._dyn_power
+        for c in range(n_cpus):
+            running[c] = rq_list[c].current is not None and not throttled[c]
+            est_power[c] = 0.0
+            dyn_power[c] = 0.0
+        self._total_ticks += 1
+        cached = self._cycles_for_dt
+        if cached is None or cached[0] != tick_s:
+            cached = (
+                tick_s,
+                self.exec_model.effective_cycles(tick_s, False),
+                self.exec_model.effective_cycles(tick_s, True),
+            )
+            self._cycles_for_dt = cached
+        cycles_solo, cycles_smt = cached[1], cached[2]
+        smt_factor = self.exec_model.smt_thread_factor
+        siblings = self._siblings
+        bank_rows = self._bank_rows
+        freq_scale = self._freq_scale
+        busy_ticks = self._busy_ticks
+        interval_energy = self._interval_energy
+        interval_busy = self._interval_busy
+        containers = self.containers
+        # When no workload slot carries a power cap the container manager
+        # stays empty for the whole run; skip its per-CPU checks outright.
+        use_containers = self._has_power_caps
+        cache_get = self._tick_cache.cache.get
+        cache_miss = self._tick_cache.miss
+        pmc_gauss = self._pmc_gauss
+        jitter_sigma = self.config.counter_jitter_sigma
+        base_w = self.estimator.base_w
+        retired = self.instructions_retired
+        retired_get = retired.get
+        for c in range(n_cpus):
+            if not running[c]:
+                continue
+            busy_ticks[c] += 1
+            rq = rq_list[c]
+            task = rq.current
+            if task.ready_since_ms is not None:
+                task.note_dispatched(now_ms)
+            n_busy_threads = 1
+            for s in siblings[c]:
+                if running[s]:
+                    n_busy_threads += 1
+            sibling_busy = n_busy_threads > 1
+            # Inlined Behavior.step common case (no wobble resample, no
+            # phase expiry): take the cached mix and advance the two
+            # timers, exactly as step() would.  Everything else falls
+            # through to the full method.
+            beh = task.behavior
+            if (
+                beh._wobble_remaining_s > 0.0
+                and beh._phase_remaining_s > tick_s
+                and beh._cached_mix is not None
+            ):
+                mix = beh._cached_mix
+                beh._phase_remaining_s -= tick_s
+                beh._wobble_remaining_s -= tick_s
+            else:
+                mix = beh.step(tick_s)
+            cycles = cycles_smt if sibling_busy else cycles_solo
+            scale = freq_scale[c]
+            if scale < 1.0:
+                # DVFS: work slows linearly (power is rescaled below).
+                cycles *= scale
+            entry = cache_get((id(mix), cycles))
+            if entry is None or entry[0] is not mix:
+                entry = cache_miss(mix, cycles)
+            dyn_w = entry[3]
+            if sibling_busy:
+                dyn_w *= smt_factor
+            if scale < 1.0:
+                # DVFS: dynamic power falls cubically.
+                dyn_w *= dynamic_power_scale(scale)
+            # Inlined CounterBank.draw_jitter — same condition, same
+            # values (the branch is max(0.0, x) spelled out), same RNG
+            # stream.
+            if jitter_sigma and cycles > 0:
+                jitter = 1.0 + pmc_gauss[c](0.0, jitter_sigma)
+                if jitter < 0.0:
+                    jitter = 0.0
+            else:
+                jitter = 1.0
+            # Credit the counter bank through its shared matrix row; the
+            # wraparound modulus is applied once per tick below, which is
+            # exact (x % m == x while the counters stay below m, so the
+            # deferred reduction matches per-credit reduction bit for
+            # bit).
+            base_increments = entry[1]
+            row = bank_rows[c]
+            row += base_increments if jitter == 1.0 else base_increments * jitter
+            scale_factor = jitter if scale == 1.0 else jitter * (scale * scale)
+            # Inlined LinearEnergyEstimator.tick_energy_j — same
+            # expression, same evaluation order, so the two paths agree
+            # bit for bit.
+            est_e = (
+                base_w * tick_s * (1.0 / n_busy_threads)
+                + entry[2] * scale_factor * 1e-9
+            )
+            if use_containers and len(containers):
+                containers.charge(task, est_e)
+            interval_energy[c] += est_e
+            interval_busy[c] += tick_s
+            est_power[c] = est_e / tick_s
+            dyn_power[c] = dyn_w
+            task.total_busy_s += tick_s
+            task.total_energy_j += est_e
+            name = task.name
+            instructions = cycles * mix.ipc
+            if task.cold_instructions_remaining > 0.0:
+                instructions = self._apply_cache_warmup(task, instructions)
+            retired[name] = retired_get(name, 0.0) + instructions
+            job_done = task.retire(instructions)
+            task.timeslice_remaining_ms -= tick_ms
+            if task.run_remaining_s is not None:
+                task.run_remaining_s -= tick_s
+            if job_done:
+                self._complete_job(task, clock)
+                if rq.current is not task:
+                    continue  # task exited (fork_new/none respawn)
+            if task.run_remaining_s is not None and task.run_remaining_s <= 0:
+                self._block(task, clock)
+                continue
+            container_exhausted = (
+                use_containers
+                and len(containers) > 0
+                and not containers.eligible(task)
+            )
+            if task.timeslice_remaining_ms <= 0 or container_exhausted:
+                self._end_interval(c, task)
+                eligible = (
+                    containers.eligible
+                    if use_containers and len(containers)
+                    else None
+                )
+                nxt = rq.pick_next(eligible)
+                if nxt is not None and nxt.timeslice_remaining_ms <= 0:
+                    nxt.timeslice_remaining_ms = self._timeslice_for(nxt)
+        # One wraparound reduction for all banks.  Each bank is credited
+        # at most once per tick, so reducing here instead of per credit
+        # yields the exact same counter values as CounterBank.credit.
+        self._counts_mx %= self._counter_modulus
 
     def _apply_cache_warmup(self, task: Task, instructions: float) -> float:
         """Retire fewer instructions while the task re-warms caches.
@@ -414,6 +663,9 @@ class System:
         energy = self._interval_energy[cpu]
         assert task.profile is not None
         task.profile.record(energy, busy)
+        # The task's profile power changed, so any memoised runqueue
+        # power sum that includes it is stale.
+        self.runqueues[cpu].version += 1
         if not task.first_timeslice_done:
             task.first_timeslice_done = True
             self.policy.on_first_timeslice(task, energy / busy)
@@ -483,12 +735,14 @@ class System:
                 dyns, all_halted, self.rng.stream(f"meter:{pkg}")
             )
             true_temp = self.true_rc[pkg].step(true_w, tick_s)
+            self._pkg_temp_c[pkg] = true_temp
             if all_halted:
                 est_w = self.config.power.halted_package_w
             else:
                 est_w = sum(self._est_power[c] for c in cpus if self._running[c])
             self._est_pkg_power[pkg] = est_w
             est_temp = self.est_rc[pkg].step(est_w, tick_s)
+            self._pkg_est_temp_c[pkg] = est_temp
             err = abs(est_temp - true_temp)
             if err > self.max_temp_err_k:
                 self.max_temp_err_k = err
@@ -510,6 +764,92 @@ class System:
                 # power, so this thread contributes nothing extra.
                 power = 0.0
             self.metrics.update_thermal(c, power, tick_s)
+
+    def _thermal_step_fast(self, clock: Clock) -> None:
+        """The batched thermal step.
+
+        Same per-package integration and error tracking as
+        :meth:`_thermal_step` with the ``exp`` factors memoised (the
+        tick length is constant within a run), followed by one
+        :meth:`~repro.core.metrics.MetricsBoard.update_thermal_batch`
+        advancing the whole thermal-power column.
+        """
+        tick_s = clock.tick_s
+        if self._rc_decay_dt != tick_s:
+            self._rc_decays = [
+                rc_decay(rc.params.tau_s, tick_s) for rc in self.true_rc
+            ]
+            self._rc_decay_dt = tick_s
+        decays = self._rc_decays
+        sample_tick = clock.ticks % self._sample_every == 0
+        halted_pkg_w = self.config.power.halted_package_w
+        halted_share_w = self._halted_share_w
+        running = self._running
+        est_power = self._est_power
+        dyn_power = self._dyn_power
+        thermal_in = self._thermal_in_w
+        pkg_temp = self._pkg_temp_c
+        pkg_est_temp = self._pkg_est_temp_c
+        est_pkg_power = self._est_pkg_power
+        true_rc = self.true_rc
+        est_rc = self.est_rc
+        meter_gauss = self._meter_gauss
+        power_params = self.power.params
+        base_active_w = power_params.base_active_w
+        noise_sigma = power_params.noise_sigma
+        for pkg, cpus in enumerate(self._pkg_cpus):
+            # Single pass accumulating what sample_package_power_w and
+            # the estimate sum would compute; starting from 0.0 matches
+            # sum()'s int-0 start exactly (the first add is exact either
+            # way) and the left-to-right order is identical.
+            dyn_sum = 0.0
+            est_sum = 0.0
+            all_halted = True
+            for c in cpus:
+                if running[c]:
+                    all_halted = False
+                    dyn_sum += dyn_power[c]
+                    est_sum += est_power[c]
+            # Inlined PowerModel.sample_package_power_w — same
+            # expression, same RNG stream.
+            clean = halted_pkg_w if all_halted else base_active_w + dyn_sum
+            true_w = clean * (1.0 + meter_gauss[pkg](0.0, noise_sigma))
+            decay = decays[pkg]
+            # Inlined ThermalRC.step_with_decay (both RCs) — same
+            # expression on the same cached operands.
+            rc = true_rc[pkg]
+            target = rc._ambient_c + true_w * rc._r_k_per_w
+            true_temp = target + (rc._temp_c - target) * decay
+            rc._temp_c = true_temp
+            pkg_temp[pkg] = true_temp
+            if all_halted:
+                est_w = halted_pkg_w
+                for c in cpus:
+                    # Fully halted package: each thread carries its share
+                    # of the residual hlt draw (13.6 W at idle).
+                    thermal_in[c] = halted_share_w
+            else:
+                est_w = est_sum
+                for c in cpus:
+                    # Idle thread beside a busy sibling contributes
+                    # nothing extra: the active thread's estimate already
+                    # covers the package's static power.
+                    thermal_in[c] = est_power[c] if running[c] else 0.0
+            est_pkg_power[pkg] = est_w
+            rc = est_rc[pkg]
+            target = rc._ambient_c + est_w * rc._r_k_per_w
+            est_temp = target + (rc._temp_c - target) * decay
+            rc._temp_c = est_temp
+            pkg_est_temp[pkg] = est_temp
+            err = abs(est_temp - true_temp)
+            if err > self.max_temp_err_k:
+                self.max_temp_err_k = err
+            if true_temp > self.max_temp_seen_c:
+                self.max_temp_seen_c = true_temp
+            if not all_halted and sample_tick:
+                self._est_err_sum += abs(est_w - true_w) / true_w
+                self._est_err_n += 1
+        self.metrics.update_thermal_batch(thermal_in, tick_s)
 
     def _throttle_step(self, clock: Clock) -> None:
         if not self.config.throttle.enabled:
@@ -539,7 +879,7 @@ class System:
             phase = ticks + c * 3
             if phase % self._balance_ticks == 0:
                 self.policy.periodic_balance(c)
-            elif rq.is_idle and (ticks + c) % self._idle_balance_ticks == 0:
+            elif not rq.nr and (ticks + c) % self._idle_balance_ticks == 0:
                 self.policy.periodic_balance(c)
             if (ticks + c) % self._hot_check_ticks == 0:
                 self.policy.check_active_migration(c)

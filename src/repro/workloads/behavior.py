@@ -129,12 +129,14 @@ class Behavior:
             self._wobble_remaining_s = self._wobble_interval_s
             self._cached_mix = None
         if self._cached_mix is None:
-            mix = self.current_phase.mix
-            self._cached_mix = InstructionMix(
-                rates_per_cycle=mix.rates_per_cycle * self._wobble,
-                ipc=mix.ipc,
-                label=mix.label,
-            )
+            mix = self.phases[self._phase_index].mix
+            # Scaling a validated mix cannot invalidate it, so skip the
+            # dataclass validation on this per-wobble hot path.
+            scaled = object.__new__(InstructionMix)
+            object.__setattr__(scaled, "rates_per_cycle", mix.rates_per_cycle * self._wobble)
+            object.__setattr__(scaled, "ipc", mix.ipc)
+            object.__setattr__(scaled, "label", mix.label)
+            self._cached_mix = scaled
         scaled = self._cached_mix
         self._phase_remaining_s -= busy_dt_s
         self._wobble_remaining_s -= busy_dt_s

@@ -114,6 +114,18 @@ class SimulationResult:
     def tracer(self) -> Tracer:
         return self.system.tracer
 
+    # -- runtime validation ---------------------------------------------------
+    @property
+    def violations(self) -> list:
+        """Invariant violations recorded during the run.
+
+        Empty unless the run was built with ``validate=`` (see
+        :mod:`repro.validate.invariants`).
+        """
+        if self.system.validator is None:
+            return []
+        return list(self.system.validator.violations)
+
     # -- structured summary ---------------------------------------------------
     def scalar_summary(self) -> dict[str, float]:
         """The headline metrics as one flat float-valued dict.
@@ -141,6 +153,7 @@ def run_simulation(
     policy_config: EnergyAwareConfig | None = None,
     duration_s: float = 300.0,
     fast_path: bool = True,
+    validate=False,
 ) -> SimulationResult:
     """Build a system, run it for ``duration_s``, return the result.
 
@@ -150,6 +163,10 @@ def run_simulation(
     scalar reference implementation — results are bit-identical either
     way (the perf harness asserts this), so the flag exists for
     benchmarking and verification, not for correctness trade-offs.
+    ``validate`` (False, True, or a
+    :class:`repro.validate.invariants.ValidationConfig`) installs the
+    runtime invariant checker; recorded violations are available as
+    :attr:`SimulationResult.violations`.
     """
     clock = Clock(config.tick_ms)
     system = System(
@@ -158,6 +175,7 @@ def run_simulation(
         policy=Policy.coerce(policy),
         policy_config=policy_config,
         fast_path=fast_path,
+        validate=validate,
     )
     engine = Engine(clock, system.tracer)
     engine.register(system)

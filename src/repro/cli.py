@@ -22,6 +22,20 @@ import sys
 from repro.experiments import REGISTRY, run_experiment
 
 
+def _validate_duration(text: str) -> float | None:
+    """``--duration`` for the validate matrix: ``short``, ``full``, or
+    seconds.  ``full`` maps to ``None`` (each scenario's pinned perf
+    duration)."""
+    lowered = text.strip().lower()
+    if lowered == "short":
+        from repro.validate.runner import SHORT_DURATION_S
+
+        return SHORT_DURATION_S
+    if lowered == "full":
+        return None
+    return _positive_duration(text)
+
+
 def _positive_duration(text: str) -> float:
     """Argparse type for ``--duration``: a finite, strictly positive float."""
     try:
@@ -78,6 +92,9 @@ def build_parser() -> argparse.ArgumentParser:
         "run-file", help="run a JSON scenario file and print a summary"
     )
     run_file.add_argument("path", help="scenario JSON file (see repro.scenario)")
+    run_file.add_argument("--validate", action="store_true",
+                          help="run with the invariant checker enabled; "
+                               "violations go to stderr and exit non-zero")
 
     reproduce = sub.add_parser(
         "reproduce", help="run every experiment (quick-look durations)"
@@ -127,6 +144,37 @@ def build_parser() -> argparse.ArgumentParser:
                       help="result file (default: BENCH_perf.json)")
     perf.add_argument("--json", action="store_true",
                       help="print the payload as JSON instead of a table")
+
+    validate = sub.add_parser(
+        "validate",
+        help="run the correctness matrix (invariants + differential "
+             "oracle + fault injection) over the pinned scenarios",
+    )
+    validate.add_argument("--scenario", action="append", default=None,
+                          metavar="NAME", dest="scenarios",
+                          help="validate only this scenario (repeatable; "
+                               "default: the full reference set)")
+    validate.add_argument("--duration", type=_validate_duration,
+                          default="short", metavar="SECONDS|short|full",
+                          help="simulated seconds per run, or 'short' "
+                               "(default) / 'full' (each scenario's pinned "
+                               "perf duration)")
+    validate.add_argument("--sample-every", type=int, default=1, metavar="N",
+                          help="evaluate tick invariants every N ticks "
+                               "(default: 1)")
+    validate.add_argument("--skip-faults", action="store_true",
+                          help="run invariants and oracle only, no fault "
+                               "injection")
+    validate.add_argument("--output", default=None, metavar="PATH",
+                          help="also write the report payload as JSON "
+                               "(the CI artifact)")
+    validate.add_argument("--write-golden", default=None, metavar="DIR",
+                          dest="write_golden",
+                          help="regenerate the golden traces into DIR and "
+                               "exit (documented home: tests/golden)")
+    validate.add_argument("--json", action="store_true",
+                          help="print the payload as JSON instead of a "
+                               "report")
     return parser
 
 
@@ -310,6 +358,44 @@ def _cmd_perf(parser, args) -> int:
     return 0
 
 
+def _cmd_validate(parser, args) -> int:
+    from repro.perf import scenario_by_name
+    from repro.validate import (
+        format_validation_report,
+        run_validation,
+        write_golden,
+        write_validation_json,
+    )
+
+    scenarios = None
+    if args.scenarios:
+        try:
+            scenarios = [scenario_by_name(name) for name in args.scenarios]
+        except ValueError as exc:
+            parser.error(str(exc))
+    if args.sample_every < 1:
+        parser.error(f"--sample-every must be >= 1, got {args.sample_every}")
+    if args.write_golden is not None:
+        paths = write_golden(args.write_golden, scenarios)
+        for path in paths:
+            print(f"wrote {path}", file=sys.stderr)
+        return 0
+    payload = run_validation(
+        scenarios,
+        duration_s=args.duration,
+        sample_every=args.sample_every,
+        include_faults=not args.skip_faults,
+    )
+    if args.output is not None:
+        path = write_validation_json(payload, args.output)
+        print(f"wrote {path}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_validation_report(payload))
+    return 0 if payload["ok"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -322,8 +408,16 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.export import run_summary_json
         from repro.scenario import load_scenario
 
-        result = load_scenario(args.path).run()
+        result = load_scenario(args.path).run(validate=args.validate)
         print(run_summary_json(result))
+        violations = result.violations
+        if violations:
+            print(f"error: {len(violations)} invariant violation(s):",
+                  file=sys.stderr)
+            for violation in violations[:20]:
+                print(f"  [tick {violation.tick}] {violation.invariant}: "
+                      f"{violation.message}", file=sys.stderr)
+            return 1
         return 0
     if args.command == "reproduce":
         from repro.experiments import run_all
@@ -336,6 +430,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_batch(parser, args)
     if args.command == "perf":
         return _cmd_perf(parser, args)
+    if args.command == "validate":
+        return _cmd_validate(parser, args)
     experiment = _resolve_experiment(parser, args.experiment)
     report = run_experiment(experiment, duration_s=args.duration,
                             seed=args.seed)

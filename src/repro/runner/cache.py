@@ -3,9 +3,10 @@
 One JSON file per completed job under ``.repro_cache/`` (or
 ``$REPRO_CACHE_DIR``), named by the spec's content hash.  Each payload
 records the *salt* it was computed under — by default a digest of every
-``repro`` source file — so results computed by older code are treated
-as misses and silently overwritten: editing any module under
-``src/repro/`` invalidates the whole cache without touching the files.
+``repro`` source and data file — so results computed by older code are
+treated as misses and silently overwritten: editing any module or
+committed JSON under ``src/repro/`` invalidates the whole cache without
+touching the files.
 
 Reads and writes go through :meth:`ResultCache.get` /
 :meth:`ResultCache.put`, which keep hit/miss/store counts for the CLI's
@@ -29,21 +30,42 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 _SCHEMA_VERSION = 1
 
 
-@functools.lru_cache(maxsize=1)
-def code_salt() -> str:
-    """Digest of every ``repro/*.py`` source file (the code-version salt).
+#: Everything under ``repro/`` that can change a run's result: source,
+#: plus committed data files (fault plans, any future JSON tables).
+_SALT_PATTERNS = ("*.py", "*.json")
 
-    Computed once per process; stable across processes for the same
-    checkout, different as soon as any module changes.
+
+def _tree_digest(
+    root: pathlib.Path, patterns: tuple[str, ...] = _SALT_PATTERNS
+) -> str:
+    """Digest of every file under ``root`` matching ``patterns``.
+
+    Paths are collected across all patterns and sorted once, so the
+    digest depends only on the file set and contents — not on pattern
+    order or interleaving.
     """
-    package_root = pathlib.Path(__file__).resolve().parent.parent
+    root = pathlib.Path(root)
+    paths = sorted({p for pattern in patterns for p in root.rglob(pattern)})
     digest = hashlib.sha256()
-    for path in sorted(package_root.rglob("*.py")):
-        digest.update(str(path.relative_to(package_root)).encode())
+    for path in paths:
+        digest.update(str(path.relative_to(root)).encode())
         digest.update(b"\0")
         digest.update(path.read_bytes())
         digest.update(b"\0")
     return digest.hexdigest()[:16]
+
+
+@functools.lru_cache(maxsize=1)
+def code_salt() -> str:
+    """The code-version salt: a digest of the whole ``repro`` package.
+
+    Covers every module *and* committed data file (``*.py`` and
+    ``*.json``, including ``validate/fault_plans.json``), so editing any
+    of them — not just Python sources — invalidates the cache.  Computed
+    once per process; stable across processes for the same checkout.
+    """
+    package_root = pathlib.Path(__file__).resolve().parent.parent
+    return _tree_digest(package_root)
 
 
 def default_cache_dir() -> pathlib.Path:

@@ -76,7 +76,10 @@ class CounterSet:
         return self._counts.get(name, default)
 
     def as_dict(self) -> dict[str, int]:
-        return dict(self._counts)
+        """Counters keyed by name, sorted so the mapping (and anything
+        serialised from it — golden traces, invariant diffs) is stable
+        regardless of the order events first fired."""
+        return {name: self._counts[name] for name in sorted(self._counts)}
 
     def __repr__(self) -> str:
         return f"CounterSet({dict(self._counts)!r})"

@@ -79,6 +79,7 @@ class System:
         policy_config: EnergyAwareConfig | None = None,
         tracer: Tracer | None = None,
         fast_path: bool = True,
+        validate=False,
     ) -> None:
         policy = Policy.coerce(policy)
         if policy is Policy.BASELINE and policy_config is not None:
@@ -256,6 +257,19 @@ class System:
         self._rc_decay_dt: float | None = None
         self._rc_decays: list[float] = []
 
+        # -- optional runtime validation -----------------------------------------
+        # Off by default: the disabled cost is one attribute test per
+        # hook site.  ``validate`` accepts True or a ValidationConfig;
+        # the import is lazy to keep the validate package optional on
+        # the hot import path (and to avoid a cycle through repro.api).
+        self.validator = None
+        self.fault_injector = None  # installed by repro.validate.faults
+        if validate:
+            from repro.validate.invariants import InvariantChecker, ValidationConfig
+
+            vconfig = validate if isinstance(validate, ValidationConfig) else None
+            self.validator = InvariantChecker(self, vconfig)
+
         # Tick periods.
         tick = config.tick_ms
         self._timeslice_ticks = max(1, config.timeslice_ms // tick)
@@ -285,6 +299,8 @@ class System:
         self._housekeeping(clock)
         if clock.ticks % self._sample_every == 0:
             self._sample_traces(clock)
+        if self.validator is not None:
+            self.validator.after_tick(clock)
 
     # -- wakeups and forks ------------------------------------------------------
     def _wake_due(self, now_ms: int) -> None:
@@ -339,6 +355,8 @@ class System:
         if spec.power_cap_w is not None:
             self.containers.assign(task, ContainerConfig(refill_w=spec.power_cap_w))
         cpu = self.policy.place_new_task(task)
+        if self.validator is not None:
+            self.validator.on_placement(task, cpu)
         task.note_ready(now_ms)
         self.runqueues[cpu].enqueue(task)
         slot.task = task
@@ -893,6 +911,14 @@ class System:
                 f"task pid={task.pid} affinity {sorted(task.cpus_allowed or ())} "
                 f"forbids CPU {dst}"
             )
+        if self.validator is not None:
+            # Validate against the pre-migration state, before any
+            # runqueue mutation.
+            self.validator.before_migration(task, src, dst, reason)
+        if self.fault_injector is not None and self.fault_injector.intercept_migration(
+            task, src, dst, reason
+        ):
+            return  # fault plan dropped the request; no state changed
         src_rq = self.runqueues[src]
         if task is src_rq.current:
             self._end_interval(src, task)

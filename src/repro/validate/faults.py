@@ -1,0 +1,228 @@
+"""Seeded fault injection against a live :class:`System`.
+
+Each :class:`FaultPlan` perturbs the machine the way real hardware
+misbehaves around the paper's mechanisms:
+
+* **counter-read spikes** — event-counter jitter occasionally far
+  outside its calibrated sigma (§3.1's "counters are noisy" taken to a
+  hostile extreme): the Eq. 1 estimate inflates, but stays internally
+  consistent, so every invariant must survive;
+* **counter-register corruption** — a raw register clobbered to NaN.
+  The registers feed nothing downstream (estimates consume per-tick
+  increments directly), so the scheduler must keep running while the
+  ``counter-bounds`` invariant reports the corruption;
+* **migration drops** — the request reaches the migration callback and
+  vanishes (the kernel analogue: the target runqueue lock was
+  contended and the move was abandoned).  Balancing decisions are
+  re-derived every pass from live state, so dropped moves degrade
+  balance quality, never consistency;
+* **thermal coefficient jitter + sensor drift** — the physical heat
+  sink degrades (higher R than calibrated) and the true temperature
+  drifts upward each tick.  The RC-bounds invariant is *expected* to
+  fire (it checks the live model against the configured coefficients);
+  nothing may crash.
+
+The injector hooks the same surfaces the fast/scalar equivalence relies
+on — the per-CPU PMC jitter RNG streams (shared by both paths), the
+shared counter matrix, the migration callback — and registers as an
+engine component ticking *after* the system, so per-tick perturbations
+land on settled state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import pathlib
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.sim.clock import Clock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sched.task import Task
+    from repro.system import System
+
+_PLANS_PATH = pathlib.Path(__file__).resolve().parent / "fault_plans.json"
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """One seeded perturbation recipe.
+
+    All rates are per-opportunity probabilities drawn from the plan's
+    own RNG (seeded, so every fault run is reproducible).
+    """
+
+    name: str
+    seed: int
+    #: probability a counter-jitter draw gains ``counter_spike_magnitude``
+    counter_spike_rate: float = 0.0
+    counter_spike_magnitude: float = 0.5
+    #: per-tick probability one random counter register is clobbered
+    counter_corrupt_rate: float = 0.0
+    #: probability a migration request is silently dropped
+    migration_drop_rate: float = 0.0
+    #: multiplier on the true heat sinks' thermal resistance
+    thermal_r_factor: float = 1.0
+    #: upward drift of every true package temperature, per tick
+    temp_drift_c_per_tick: float = 0.0
+
+    def __post_init__(self) -> None:
+        for rate_name in (
+            "counter_spike_rate", "counter_corrupt_rate", "migration_drop_rate",
+        ):
+            rate = getattr(self, rate_name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{rate_name} must be in [0, 1], got {rate}")
+        if self.thermal_r_factor <= 0.0:
+            raise ValueError("thermal_r_factor must be positive")
+        if self.temp_drift_c_per_tick < 0.0:
+            raise ValueError("temp_drift_c_per_tick must be non-negative")
+
+    def fault_kinds(self) -> frozenset[str]:
+        """The active fault kinds (matching ``Invariant.fault_sensitive``)."""
+        kinds = set()
+        if self.counter_spike_rate > 0.0:
+            kinds.add("counter_read")
+        if self.counter_corrupt_rate > 0.0:
+            kinds.add("counter_register")
+        if self.migration_drop_rate > 0.0:
+            kinds.add("migration_drop")
+        if self.thermal_r_factor != 1.0 or self.temp_drift_c_per_tick > 0.0:
+            kinds.add("thermal")
+        return frozenset(kinds)
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def load_fault_plans(path: str | pathlib.Path | None = None) -> tuple[FaultPlan, ...]:
+    """The committed fault matrix (``fault_plans.json`` next to this
+    module); the file is data, not code, so the runner cache salts it."""
+    plans_path = pathlib.Path(path) if path is not None else _PLANS_PATH
+    payload = json.loads(plans_path.read_text())
+    if payload.get("schema") != "repro-fault-plans/1":
+        raise ValueError(
+            f"unexpected fault-plan schema {payload.get('schema')!r} "
+            f"in {plans_path}"
+        )
+    plans = tuple(FaultPlan(**entry) for entry in payload["plans"])
+    names = [p.name for p in plans]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate fault-plan names in {plans_path}: {names}")
+    return plans
+
+
+class FaultInjector:
+    """Applies one :class:`FaultPlan` to one system.
+
+    Construction installs the always-on perturbations (RNG wrappers,
+    the thermal-resistance factor) and attaches the injector as
+    ``system.fault_injector`` so the migration callback consults it.
+    Register the injector with the engine *after* the system so its
+    per-tick faults (register corruption, temperature drift) perturb
+    settled end-of-tick state.
+    """
+
+    def __init__(self, system: "System", plan: FaultPlan) -> None:
+        if system.fault_injector is not None:
+            raise ValueError("system already has a fault injector attached")
+        self.system = system
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self.stats = {
+            "counter_spikes": 0,
+            "counter_corruptions": 0,
+            "migrations_seen": 0,
+            "migrations_dropped": 0,
+            "drift_ticks": 0,
+        }
+        system.fault_injector = self
+        if plan.counter_spike_rate > 0.0:
+            self._wrap_counter_streams()
+        if plan.thermal_r_factor != 1.0:
+            self._degrade_heat_sinks()
+
+    # -- installation -------------------------------------------------------
+    def _wrap_counter_streams(self) -> None:
+        """Shadow each PMC stream's ``gauss`` with a spiking wrapper.
+
+        The stream objects are cached by the RNG factory and shared by
+        the scalar path (``CounterBank._rng``) and the fast path's bound
+        ``_pmc_gauss`` methods — both must be rebound, or only one tick
+        path would see the fault.
+        """
+        system = self.system
+        plan = self.plan
+        fault_rng = self.rng
+        stats = self.stats
+        for c in range(system.n_cpus):
+            stream = system.rng.stream(f"pmc:{c}")
+
+            def gauss(mu, sigma, _orig=stream.gauss):
+                value = _orig(mu, sigma)
+                if fault_rng.random() < plan.counter_spike_rate:
+                    stats["counter_spikes"] += 1
+                    value += plan.counter_spike_magnitude
+                return value
+
+            stream.gauss = gauss          # scalar path: bank._rng is this object
+            system._pmc_gauss[c] = gauss  # fast path: bound method captured at init
+
+    def _degrade_heat_sinks(self) -> None:
+        """Raise the *true* RCs' thermal resistance.
+
+        The estimation RCs keep the calibrated coefficients — the fault
+        models a physical heat sink degrading underneath an unchanged
+        model.  Both the frozen params (scalar ``step`` reads them
+        fresh) and the cached ``_r_k_per_w`` (the fast path's inlined
+        integration reads the cache) must change, and the fast path's
+        memoised decay factors are invalidated so the new tau is picked
+        up even when the injector is installed mid-run.
+        """
+        system = self.system
+        for rc in system.true_rc:
+            rc.params = dataclasses.replace(
+                rc.params, r_k_per_w=rc.params.r_k_per_w * self.plan.thermal_r_factor
+            )
+            rc._r_k_per_w = rc.params.r_k_per_w
+        system._rc_decay_dt = None
+
+    # -- per-tick faults -----------------------------------------------------
+    def tick(self, clock: Clock) -> None:
+        plan = self.plan
+        system = self.system
+        rng = self.rng
+        if plan.counter_corrupt_rate > 0.0 and rng.random() < plan.counter_corrupt_rate:
+            counts = system._counts_mx
+            cpu = rng.randrange(counts.shape[0])
+            event = rng.randrange(counts.shape[1])
+            # NaN survives both the per-tick credit and the wraparound
+            # modulus, so the corruption stays observable; a large
+            # finite value would be silently healed by ``%`` next tick.
+            counts[cpu, event] = math.nan
+            self.stats["counter_corruptions"] += 1
+        if plan.temp_drift_c_per_tick > 0.0:
+            for rc in system.true_rc:
+                rc._temp_c += plan.temp_drift_c_per_tick
+            self.stats["drift_ticks"] += 1
+
+    # -- migration interception ----------------------------------------------
+    def intercept_migration(
+        self, task: "Task", src: int, dst: int, reason: str
+    ) -> bool:
+        """True to drop the request (called before any runqueue mutation)."""
+        self.stats["migrations_seen"] += 1
+        if (
+            self.plan.migration_drop_rate > 0.0
+            and self.rng.random() < self.plan.migration_drop_rate
+        ):
+            self.stats["migrations_dropped"] += 1
+            return True
+        return False
+
+    def summary(self) -> dict:
+        return {"plan": self.plan.name, **self.stats}

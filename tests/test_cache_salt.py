@@ -1,0 +1,92 @@
+"""Regression tests for the runner cache's code-version salt.
+
+The salt must change when *any* file that can affect results changes —
+including committed data files like ``validate/fault_plans.json``, not
+just ``*.py`` sources.  A salt blind to data files serves stale results
+after a data-only edit.
+"""
+
+import pathlib
+
+from repro.runner.cache import _SALT_PATTERNS, _tree_digest, code_salt
+
+
+def make_tree(root: pathlib.Path) -> None:
+    (root / "pkg").mkdir()
+    (root / "pkg" / "mod.py").write_text("x = 1\n")
+    (root / "pkg" / "data.json").write_text('{"k": 1}\n')
+    (root / "pkg" / "notes.txt").write_text("ignored\n")
+
+
+class TestTreeDigest:
+    def test_stable_for_unchanged_tree(self, tmp_path):
+        make_tree(tmp_path)
+        assert _tree_digest(tmp_path) == _tree_digest(tmp_path)
+
+    def test_python_edit_changes_digest(self, tmp_path):
+        make_tree(tmp_path)
+        before = _tree_digest(tmp_path)
+        (tmp_path / "pkg" / "mod.py").write_text("x = 2\n")
+        assert _tree_digest(tmp_path) != before
+
+    def test_json_data_edit_changes_digest(self, tmp_path):
+        """The regression: data files must participate in the salt."""
+        make_tree(tmp_path)
+        before = _tree_digest(tmp_path)
+        (tmp_path / "pkg" / "data.json").write_text('{"k": 2}\n')
+        assert _tree_digest(tmp_path) != before
+
+    def test_unmatched_files_do_not_participate(self, tmp_path):
+        make_tree(tmp_path)
+        before = _tree_digest(tmp_path)
+        (tmp_path / "pkg" / "notes.txt").write_text("still ignored\n")
+        assert _tree_digest(tmp_path) == before
+
+    def test_new_and_renamed_files_change_digest(self, tmp_path):
+        make_tree(tmp_path)
+        before = _tree_digest(tmp_path)
+        (tmp_path / "pkg" / "extra.json").write_text("{}\n")
+        added = _tree_digest(tmp_path)
+        assert added != before
+        (tmp_path / "pkg" / "extra.json").rename(
+            tmp_path / "pkg" / "renamed.json"
+        )
+        assert _tree_digest(tmp_path) not in (before, added)
+
+    def test_pattern_sets_yield_distinct_digests(self, tmp_path):
+        make_tree(tmp_path)
+        py_only = _tree_digest(tmp_path, patterns=("*.py",))
+        py_and_json = _tree_digest(tmp_path, patterns=("*.py", "*.json"))
+        assert py_only != py_and_json
+
+    def test_digest_independent_of_pattern_order(self, tmp_path):
+        make_tree(tmp_path)
+        assert _tree_digest(
+            tmp_path, patterns=("*.py", "*.json")
+        ) == _tree_digest(tmp_path, patterns=("*.json", "*.py"))
+
+
+class TestCodeSalt:
+    def test_default_patterns_include_data_files(self):
+        assert "*.json" in _SALT_PATTERNS
+        assert "*.py" in _SALT_PATTERNS
+
+    def test_code_salt_covers_fault_plans(self):
+        """The committed fault matrix must be part of the salt."""
+        import repro
+        import repro.validate.faults as faults
+
+        package_root = pathlib.Path(repro.__file__).resolve().parent
+        plans = faults._PLANS_PATH
+        assert plans.is_relative_to(package_root)
+        covered = {
+            p for pattern in _SALT_PATTERNS
+            for p in package_root.rglob(pattern)
+        }
+        assert plans in covered
+
+    def test_code_salt_shape_and_cache(self):
+        salt = code_salt()
+        assert len(salt) == 16
+        int(salt, 16)  # hex digest prefix
+        assert code_salt() is salt  # lru-cached per process

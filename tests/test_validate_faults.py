@@ -1,0 +1,200 @@
+"""Fault injection: plans load, perturbations land, degradation is
+graceful.
+
+Graceful degradation means three things, and each gets its own test
+shape: nothing crashes, fault-sensitive invariants *do* fire (a silent
+fault harness tests nothing), and fault-insensitive invariants keep
+holding under every committed plan.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.cpu.topology import MachineSpec
+from repro.sim.clock import Clock
+from repro.sim.engine import Engine
+from repro.system import System
+from repro.validate import (
+    FaultInjector,
+    FaultPlan,
+    ValidationConfig,
+    invariant_by_name,
+    load_fault_plans,
+)
+from repro.workloads.generator import mixed_table2_workload
+
+
+def smp_config(n=4, **kwargs):
+    defaults = dict(
+        machine=MachineSpec.smp(n), max_power_per_cpu_w=60.0, seed=42,
+        sample_interval_s=0.5,
+    )
+    defaults.update(kwargs)
+    return SystemConfig(**defaults)
+
+
+def run_faulted(plan, duration_s=2.0, validate=True, config=None):
+    config = config if config is not None else smp_config()
+    clock = Clock(config.tick_ms)
+    system = System(
+        config, mixed_table2_workload(1), fast_path=True, validate=validate
+    )
+    injector = FaultInjector(system, plan)
+    engine = Engine(clock, system.tracer)
+    engine.register(system)
+    engine.register(injector)
+    engine.run_for(duration_s)
+    return system, injector
+
+
+class TestFaultPlans:
+    def test_committed_plans_load(self):
+        plans = load_fault_plans()
+        names = {p.name for p in plans}
+        assert {"counter-noise", "counter-corrupt", "migration-drops",
+                "thermal-drift"} <= names
+
+    def test_plan_kinds_map_to_registry_vocabulary(self):
+        # Every kind a committed plan activates must be one some
+        # invariant declares, or "expected detection" can never match.
+        from repro.validate import FAULT_KINDS
+
+        for plan in load_fault_plans():
+            assert plan.fault_kinds() <= frozenset(FAULT_KINDS)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(name="bad", seed=1, migration_drop_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(name="bad", seed=1, thermal_r_factor=0.0)
+        with pytest.raises(ValueError):
+            FaultPlan(name="bad", seed=1, temp_drift_c_per_tick=-0.1)
+
+    def test_schema_and_duplicates_rejected(self, tmp_path):
+        bad_schema = tmp_path / "bad.json"
+        bad_schema.write_text('{"schema": "other/9", "plans": []}')
+        with pytest.raises(ValueError, match="schema"):
+            load_fault_plans(bad_schema)
+        dupes = tmp_path / "dupes.json"
+        dupes.write_text(
+            '{"schema": "repro-fault-plans/1", "plans": ['
+            '{"name": "x", "seed": 1}, {"name": "x", "seed": 2}]}'
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            load_fault_plans(dupes)
+
+    def test_fault_kinds_cover_each_knob(self):
+        assert FaultPlan(name="a", seed=1).fault_kinds() == frozenset()
+        assert FaultPlan(
+            name="b", seed=1, counter_spike_rate=0.1
+        ).fault_kinds() == {"counter_read"}
+        assert FaultPlan(
+            name="c", seed=1, counter_corrupt_rate=0.1
+        ).fault_kinds() == {"counter_register"}
+        assert FaultPlan(
+            name="d", seed=1, migration_drop_rate=0.1
+        ).fault_kinds() == {"migration_drop"}
+        assert FaultPlan(
+            name="e", seed=1, thermal_r_factor=2.0, temp_drift_c_per_tick=0.1
+        ).fault_kinds() == {"thermal"}
+
+    def test_one_injector_per_system(self):
+        system = System(smp_config(), mixed_table2_workload(1))
+        FaultInjector(system, FaultPlan(name="first", seed=1))
+        with pytest.raises(ValueError, match="already"):
+            FaultInjector(system, FaultPlan(name="second", seed=2))
+
+
+class TestPerturbationsLand:
+    def test_counter_spikes_inflate_counters(self):
+        plan = FaultPlan(
+            name="spikes", seed=9, counter_spike_rate=1.0,
+            counter_spike_magnitude=0.5,
+        )
+        system, injector = run_faulted(plan, duration_s=1.0)
+        assert injector.stats["counter_spikes"] > 0
+        # Internally consistent noise: every invariant must still hold.
+        assert system.validator.violations == []
+
+    def test_counter_corruption_detected_not_fatal(self):
+        plan = FaultPlan(name="corrupt", seed=9, counter_corrupt_rate=1.0)
+        system, injector = run_faulted(plan, duration_s=1.0)
+        assert injector.stats["counter_corruptions"] > 0
+        names = {v.invariant for v in system.validator.violations}
+        assert names == {"counter-bounds"}
+        assert np.isnan(system._counts_mx).any()
+
+    def test_migration_drops_seen_and_counted(self):
+        plan = FaultPlan(name="drops", seed=9, migration_drop_rate=1.0)
+        # A 20 W per-CPU budget makes the energy balancer actually move
+        # tasks within 5 s; the default 60 W never trips the hysteresis.
+        system, injector = run_faulted(
+            plan, duration_s=5.0, config=smp_config(max_power_per_cpu_w=20.0)
+        )
+        assert injector.stats["migrations_seen"] > 0
+        assert (injector.stats["migrations_dropped"]
+                == injector.stats["migrations_seen"])
+        # A dropped request mutates nothing: bookkeeping stays clean.
+        assert system.validator.violations == []
+        assert system.tracer.counters.get("migrations") == 0
+
+    def test_thermal_fault_breaches_rc_bounds_only(self):
+        plan = FaultPlan(
+            name="drift", seed=9, thermal_r_factor=1.5,
+            temp_drift_c_per_tick=0.5,
+        )
+        system, injector = run_faulted(plan, duration_s=2.0)
+        assert injector.stats["drift_ticks"] > 0
+        names = {v.invariant for v in system.validator.violations}
+        assert names == {"temperature-rc-bounds"}
+
+    def test_heat_sink_degradation_consistent_across_views(self):
+        plan = FaultPlan(name="sink", seed=9, thermal_r_factor=2.0)
+        system, _ = run_faulted(plan, duration_s=0.5, validate=False)
+        for rc in system.true_rc:
+            assert rc._r_k_per_w == rc.params.r_k_per_w
+        # Estimation RCs keep the calibrated coefficients.
+        for true, est in zip(system.true_rc, system.est_rc):
+            assert est.params.r_k_per_w < true.params.r_k_per_w
+
+    def test_spike_wrapper_reaches_both_tick_paths(self):
+        plan = FaultPlan(name="spikes", seed=9, counter_spike_rate=1.0)
+        system = System(smp_config(), mixed_table2_workload(1))
+        FaultInjector(system, plan)
+        for c in range(system.n_cpus):
+            assert system.rng.stream(f"pmc:{c}").gauss is system._pmc_gauss[c]
+
+    def test_seeded_plans_are_reproducible(self):
+        plan = FaultPlan(name="corrupt", seed=9, counter_corrupt_rate=0.3)
+        _, first = run_faulted(plan, duration_s=1.0, validate=False)
+        _, second = run_faulted(plan, duration_s=1.0, validate=False)
+        assert first.summary() == second.summary()
+
+
+class TestGracefulDegradation:
+    @pytest.mark.parametrize(
+        "plan", load_fault_plans(), ids=lambda p: p.name
+    )
+    def test_committed_plans_never_break_insensitive_invariants(self, plan):
+        system, _ = run_faulted(
+            plan, duration_s=2.0, config=smp_config(max_power_per_cpu_w=20.0)
+        )
+        active = plan.fault_kinds()
+        unexpected = [
+            v for v in system.validator.violations
+            if not invariant_by_name(v.invariant).fault_sensitive & active
+        ]
+        assert unexpected == []
+
+    def test_injector_summary_shape(self):
+        plan = FaultPlan(name="drops", seed=9, migration_drop_rate=0.5)
+        _, injector = run_faulted(plan, duration_s=0.5, validate=False)
+        summary = injector.summary()
+        assert summary["plan"] == "drops"
+        assert set(summary) == {
+            "plan", "counter_spikes", "counter_corruptions",
+            "migrations_seen", "migrations_dropped", "drift_ticks",
+        }

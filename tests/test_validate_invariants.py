@@ -1,0 +1,335 @@
+"""Invariant checker: clean runs pass, seeded violations fire.
+
+One positive and one negative test per registry entry: a short clean
+simulation must record nothing, and a targeted corruption of the same
+state must produce a violation naming exactly that invariant.
+"""
+
+import math
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.cpu.throttle import ThrottleConfig
+from repro.cpu.topology import MachineSpec
+from repro.sim.clock import Clock
+from repro.sim.engine import Engine
+from repro.system import System
+from repro.validate import (
+    REGISTRY,
+    InvariantChecker,
+    InvariantViolation,
+    ValidationConfig,
+    invariant_by_name,
+)
+from repro.workloads.generator import mixed_table2_workload
+from tests.conftest import make_task
+
+
+def smp_config(n=4, **kwargs):
+    defaults = dict(
+        machine=MachineSpec.smp(n), max_power_per_cpu_w=60.0, seed=42,
+        sample_interval_s=0.5,
+    )
+    defaults.update(kwargs)
+    return SystemConfig(**defaults)
+
+
+def run_system(
+    config=None, policy="energy", duration_s=2.0, validate=True,
+    fast_path=True,
+):
+    config = config if config is not None else smp_config()
+    clock = Clock(config.tick_ms)
+    system = System(
+        config, mixed_table2_workload(1), policy=policy,
+        fast_path=fast_path, validate=validate,
+    )
+    engine = Engine(clock, system.tracer)
+    engine.register(system)
+    engine.run_for(duration_s)
+    return system, clock
+
+
+@pytest.fixture(scope="module")
+def clean_run():
+    """One shared clean run; negative tests re-run their own systems."""
+    return run_system()
+
+
+def recheck(system, clock):
+    """Clear history and run the tick invariants once more, post-surgery."""
+    checker = system.validator
+    checker.violations.clear()
+    checker.check_now(clock.ticks + 1, clock.tick_s)
+    return checker
+
+
+class TestRegistry:
+    def test_registry_names_unique(self):
+        names = [inv.name for inv in REGISTRY]
+        assert len(names) == len(set(names))
+        assert len(REGISTRY) == 13
+
+    def test_lookup_and_unknown(self):
+        assert invariant_by_name("counter-bounds").kind == "tick"
+        with pytest.raises(ValueError, match="counter-bounds"):
+            invariant_by_name("nope")
+
+    def test_every_invariant_documents_a_paper_section(self):
+        for inv in REGISTRY:
+            assert inv.paper_ref.startswith("§")
+            assert inv.description
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ValidationConfig(sample_every=0)
+        with pytest.raises(ValueError):
+            ValidationConfig(mode="explode")
+        with pytest.raises(ValueError):
+            ValidationConfig(only=frozenset({"not-an-invariant"}))
+
+
+class TestCleanRuns:
+    def test_clean_run_records_nothing(self, clean_run):
+        system, _ = clean_run
+        assert system.validator.violations == []
+
+    def test_clean_scalar_path_records_nothing(self):
+        system, _ = run_system(fast_path=False, duration_s=1.0)
+        assert system.validator.violations == []
+
+    def test_every_tick_invariant_actually_ran(self, clean_run):
+        system, _ = clean_run
+        ran = system.validator.checks_run
+        for inv in REGISTRY:
+            if inv.kind == "tick":
+                assert ran.get(inv.name, 0) > 0, inv.name
+
+    def test_clean_run_with_throttling(self):
+        config = smp_config(
+            max_power_per_cpu_w=20.0,
+            throttle=ThrottleConfig(enabled=True, scope="logical", mode="hlt"),
+        )
+        system, _ = run_system(config, duration_s=2.0)
+        assert system.validator.violations == []
+
+    def test_validation_off_by_default(self):
+        config = smp_config()
+        system = System(config, mixed_table2_workload(1))
+        assert system.validator is None
+
+    def test_sample_every_skips_ticks(self):
+        system, clock = run_system(
+            validate=ValidationConfig(sample_every=10), duration_s=1.0
+        )
+        # Engine advances first, so the hook sees ticks 1..N.
+        ran = system.validator.checks_run["energy-package-conservation"]
+        assert ran == clock.ticks // 10
+
+    def test_only_restricts_checking(self):
+        system, _ = run_system(
+            validate=ValidationConfig(only=frozenset({"counter-bounds"})),
+            duration_s=1.0,
+        )
+        assert set(system.validator.checks_run) == {"counter-bounds"}
+
+
+class TestSeededTickViolations:
+    """Surgical state corruption must trip exactly the right invariant."""
+
+    def test_package_conservation_fires(self):
+        system, clock = run_system(duration_s=1.0)
+        system._est_pkg_power[0] += 5.0
+        checker = recheck(system, clock)
+        assert checker.violations_for("energy-package-conservation")
+
+    def test_task_accounting_fires(self):
+        system, clock = run_system(duration_s=1.0)
+        checker = system.validator
+        checker.violations.clear()
+        # History was snapshotted by the final after_tick; a corrupted
+        # "next tick" grows task energy by far more than Eq. 1 charged.
+        system.live_tasks()[0].total_energy_j += 1000.0
+        checker.check_now(clock.ticks + 1, clock.tick_s)
+        assert checker.violations_for("energy-task-accounting")
+
+    def test_nonnegative_fires_on_negative_power(self):
+        system, clock = run_system(duration_s=1.0)
+        system._est_power[0] = -1.0
+        checker = recheck(system, clock)
+        assert checker.violations_for("energy-nonnegative")
+
+    def test_nonnegative_fires_on_nan_task_energy(self):
+        system, clock = run_system(duration_s=1.0)
+        system.live_tasks()[0].total_energy_j = math.nan
+        checker = recheck(system, clock)
+        assert checker.violations_for("energy-nonnegative")
+
+    def test_temperature_bounds_fire_high_and_low(self):
+        system, clock = run_system(duration_s=1.0)
+        system.true_rc[0]._temp_c = 1000.0
+        checker = recheck(system, clock)
+        assert checker.violations_for("temperature-rc-bounds")
+        system.true_rc[0]._temp_c = -40.0
+        checker = recheck(system, clock)
+        assert checker.violations_for("temperature-rc-bounds")
+
+    def test_ewma_decay_fires(self):
+        system, clock = run_system(duration_s=1.0)
+        checker = system.validator
+        checker.violations.clear()
+        system.metrics.thermal_w[0] = 1e6  # outside any contraction band
+        checker.check_now(clock.ticks + 1, clock.tick_s)
+        assert checker.violations_for("ewma-thermal-decay")
+
+    def test_counter_bounds_fire_on_negative(self):
+        system, clock = run_system(duration_s=1.0)
+        system._counts_mx[0, 0] = -5.0
+        checker = recheck(system, clock)
+        assert checker.violations_for("counter-bounds")
+
+    def test_counter_bounds_fire_on_nan(self):
+        # NaN fails *both* range comparisons; the valid-mask form must
+        # still catch it (regression for the complement-form blind spot).
+        system, clock = run_system(duration_s=1.0)
+        system._counts_mx[1, 2] = math.nan
+        checker = recheck(system, clock)
+        assert checker.violations_for("counter-bounds")
+
+    def test_runqueue_bookkeeping_fires_on_nr_drift(self):
+        system, clock = run_system(duration_s=1.0)
+        system.runqueues[0].nr += 1
+        checker = recheck(system, clock)
+        assert checker.violations_for("runqueue-bookkeeping")
+
+    def test_runqueue_bookkeeping_fires_on_stale_backref(self):
+        system, clock = run_system(duration_s=1.0)
+        for rq in system.runqueues.values():
+            if rq.current is not None:
+                rq.current.cpu = (rq.cpu_id + 1) % system.n_cpus
+                break
+        else:
+            pytest.skip("no running task after 1 s")
+        checker = recheck(system, clock)
+        assert checker.violations_for("runqueue-bookkeeping")
+
+    def test_task_residency_fires_on_duplicate(self):
+        system, clock = run_system(duration_s=1.0)
+        for rq in system.runqueues.values():
+            if rq.current is not None:
+                task, src = rq.current, rq.cpu_id
+                break
+        dup = system.runqueues[(src + 1) % system.n_cpus]
+        dup._queue.append(task)  # now on two queues
+        checker = recheck(system, clock)
+        assert checker.violations_for("task-residency")
+
+    def test_throttle_state_fires_on_bad_scale(self):
+        system, clock = run_system(duration_s=1.0)
+        system._freq_scale[0] = 1.5
+        checker = recheck(system, clock)
+        assert checker.violations_for("throttle-state")
+
+    def test_throttle_state_fires_on_phantom_throttle(self):
+        system, clock = run_system(duration_s=1.0)  # throttling disabled
+        system.throttle.throttled[0] = True
+        checker = recheck(system, clock)
+        assert checker.violations_for("throttle-state")
+
+    def test_placement_cache_fires(self):
+        system, clock = run_system(duration_s=1.0)
+        system.policy.placement._first_slice_power[999_999] = -3.0
+        checker = recheck(system, clock)
+        messages = checker.violations_for("placement-cache-consistency")
+        assert len(messages) == 2  # negative power AND unknown inode
+
+
+class TestSeededEventViolations:
+    def test_balance_hysteresis_fires(self):
+        system, clock = run_system(duration_s=1.0)
+        checker = system.validator
+        checker.violations.clear()
+        task = system.live_tasks()[0]
+        # src == dst: a ratio can never exceed itself plus a margin.
+        checker.before_migration(task, 0, 0, "energy_balance")
+        assert checker.violations_for("balance-hysteresis")
+
+    def test_hot_migration_fires(self):
+        system, clock = run_system(duration_s=1.0)
+        checker = system.validator
+        checker.violations.clear()
+        task = system.live_tasks()[0]
+        src = task.cpu if task.cpu is not None else 0
+        system.runqueues[src].nr += 1  # fake a multi-task source queue
+        checker.before_migration(task, src, (src + 1) % system.n_cpus,
+                                 "hot_task")
+        system.runqueues[src].nr -= 1
+        assert checker.violations_for("hot-migration-preconditions")
+
+    def test_placement_min_length_fires(self):
+        system, clock = run_system(duration_s=1.0)
+        checker = system.validator
+        checker.violations.clear()
+        # Make CPU 1 strictly longer than CPU 0, then "place" there.
+        system.runqueues[1].enqueue(make_task(pid=90_001))
+        system.runqueues[1].enqueue(make_task(pid=90_002))
+        newcomer = make_task(pid=90_003)
+        checker.on_placement(newcomer, 1)
+        assert checker.violations_for("placement-min-length")
+
+    def test_other_migration_reasons_unchecked(self):
+        system, clock = run_system(duration_s=1.0)
+        checker = system.validator
+        checker.violations.clear()
+        task = system.live_tasks()[0]
+        checker.before_migration(task, 0, 0, "load_balance")
+        assert not checker.violations
+
+
+class TestRaiseMode:
+    def test_raise_mode_raises(self):
+        system, clock = run_system(
+            validate=ValidationConfig(
+                mode="raise", only=frozenset({"energy-nonnegative"})
+            ),
+            duration_s=1.0,
+        )
+        system._est_power[0] = -1.0
+        with pytest.raises(InvariantViolation, match="energy-nonnegative"):
+            system.validator.check_now(clock.ticks + 1, clock.tick_s)
+
+    def test_record_mode_collects(self):
+        system, clock = run_system(duration_s=1.0)
+        system._est_power[0] = -1.0
+        system.true_rc[0]._temp_c = 1000.0
+        checker = recheck(system, clock)
+        names = {v.invariant for v in checker.violations}
+        assert {"energy-nonnegative", "temperature-rc-bounds"} <= names
+
+    def test_violation_to_dict(self):
+        system, clock = run_system(duration_s=1.0)
+        system._est_power[0] = -1.0
+        checker = recheck(system, clock)
+        payload = checker.violations_for("energy-nonnegative")[0].to_dict()
+        assert payload["invariant"] == "energy-nonnegative"
+        assert isinstance(payload["tick"], int)
+
+
+class TestApiSurface:
+    def test_run_simulation_validate_exposes_violations(self):
+        from repro.api import run_simulation
+
+        result = run_simulation(
+            smp_config(), mixed_table2_workload(1), duration_s=1.0,
+            validate=True,
+        )
+        assert result.violations == []
+
+    def test_result_without_validation_has_no_violations(self):
+        from repro.api import run_simulation
+
+        result = run_simulation(
+            smp_config(), mixed_table2_workload(1), duration_s=1.0
+        )
+        assert result.violations == []

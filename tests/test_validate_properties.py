@@ -1,0 +1,277 @@
+"""Property tests (hypothesis) for the pure invariant predicates.
+
+The ``*_violation`` helpers in :mod:`repro.validate.invariants` take
+scheduler state directly, so they can be driven over random topologies
+(1–16 CPUs, SMT on and off) and random thermal/queue states without a
+full :class:`repro.system.System`.  Each block states a law the §4.4 /
+§4.5 / §4.6 predicates must satisfy on *every* machine shape.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.energy_balance import EnergyBalanceConfig
+from repro.core.hot_migration import HotMigrationConfig
+from repro.cpu.topology import MachineSpec
+from repro.validate.invariants import (
+    hot_migration_violation,
+    hysteresis_violation,
+    placement_violation,
+)
+from tests.conftest import Harness, make_task
+
+# -- random machine shapes: 1..16 logical CPUs, SMT on/off ------------------
+
+machine_specs = st.one_of(
+    st.integers(1, 16).map(MachineSpec.smp),
+    st.builds(
+        MachineSpec.cmp,
+        packages=st.integers(1, 4),
+        cores=st.integers(1, 2),
+        smt=st.booleans(),
+    ),
+)
+
+
+def harness_from(spec, thermal_w, max_power_w=20.0):
+    harness = Harness(spec, max_power_w=max_power_w)
+    n = len(harness.topology)
+    for cpu in range(n):
+        harness.set_thermal(cpu, thermal_w[cpu % len(thermal_w)])
+    return harness
+
+
+thermal_lists = st.lists(
+    st.floats(0.0, 30.0, allow_nan=False), min_size=1, max_size=16
+)
+
+
+# -- §4.4 dual hysteresis ----------------------------------------------------
+
+class TestHysteresisProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(spec=machine_specs, thermal=thermal_lists, data=st.data())
+    def test_self_pull_always_forbidden(self, spec, thermal, data):
+        """No CPU can out-rank itself by a positive margin."""
+        harness = harness_from(spec, thermal)
+        cpu = data.draw(st.integers(0, len(harness.topology) - 1))
+        message = hysteresis_violation(
+            harness.metrics, EnergyBalanceConfig(), cpu, cpu
+        )
+        assert message is not None
+
+    @settings(max_examples=60, deadline=None)
+    @given(spec=machine_specs, thermal=thermal_lists, data=st.data())
+    def test_pull_never_legal_both_ways(self, spec, thermal, data):
+        """With positive margins, src->dst and dst->src can't both pass."""
+        harness = harness_from(spec, thermal)
+        n = len(harness.topology)
+        assume(n >= 2)
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(st.integers(0, n - 1))
+        assume(src != dst)
+        config = EnergyBalanceConfig()
+        forward = hysteresis_violation(harness.metrics, config, src, dst)
+        backward = hysteresis_violation(harness.metrics, config, dst, src)
+        assert forward is not None or backward is not None
+
+    @settings(max_examples=60, deadline=None)
+    @given(spec=machine_specs, thermal=thermal_lists, data=st.data())
+    def test_legal_pull_stays_legal_with_smaller_margins(
+        self, spec, thermal, data
+    ):
+        harness = harness_from(spec, thermal)
+        n = len(harness.topology)
+        assume(n >= 2)
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(st.integers(0, n - 1))
+        assume(src != dst)
+        wide = EnergyBalanceConfig()
+        narrow = EnergyBalanceConfig(
+            thermal_margin_ratio=wide.thermal_margin_ratio / 2,
+            rq_margin_ratio=wide.rq_margin_ratio / 2,
+        )
+        if hysteresis_violation(harness.metrics, wide, src, dst) is None:
+            assert hysteresis_violation(
+                harness.metrics, narrow, src, dst
+            ) is None
+
+    @settings(max_examples=40, deadline=None)
+    @given(spec=machine_specs, thermal=thermal_lists, data=st.data())
+    def test_ablation_weakens_the_predicate(self, spec, thermal, data):
+        """§4.4 ablation: dropping one of the two conditions can only
+        make a pull *more* acceptable, never less."""
+        harness = harness_from(spec, thermal)
+        n = len(harness.topology)
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(st.integers(0, n - 1))
+        both = EnergyBalanceConfig()
+        thermal_only = EnergyBalanceConfig(use_rq_condition=False)
+        rq_only = EnergyBalanceConfig(use_thermal_condition=False)
+        if hysteresis_violation(harness.metrics, both, src, dst) is None:
+            for ablated in (thermal_only, rq_only):
+                assert hysteresis_violation(
+                    harness.metrics, ablated, src, dst
+                ) is None
+
+    def test_clear_gradient_is_legal(self, x445):
+        """A hot source next to a cold destination passes both ratios."""
+        x445.set_thermal(0, 19.0)
+        x445.add_task(0, power_w=19.0, running=True)
+        for cpu in range(1, len(x445.topology)):
+            x445.set_thermal(cpu, 1.0)
+        message = hysteresis_violation(
+            x445.metrics, EnergyBalanceConfig(), 0, 4
+        )
+        assert message is None
+
+
+# -- §4.5 hot-migration preconditions ---------------------------------------
+
+def hot_harness(spec, hot_w=19.9, max_power_w=20.0):
+    """A harness with one hot task on CPU 0 and CPU 0's whole package
+    primed to within the §4.5 trigger margin of its power limit; every
+    other package is cold."""
+    harness = Harness(spec, max_power_w=max_power_w)
+    task = harness.add_task(0, power_w=hot_w, running=True)
+    pkg0 = harness.topology.package_of(0)
+    for cpu in range(len(harness.topology)):
+        same = harness.topology.package_of(cpu) == pkg0
+        harness.set_thermal(cpu, hot_w if same else 0.0)
+    return harness, task
+
+
+class TestHotMigrationProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(spec=machine_specs, data=st.data())
+    def test_same_package_destination_always_forbidden(self, spec, data):
+        harness, task = hot_harness(spec)
+        pkg0 = [
+            cpu for cpu in range(len(harness.topology))
+            if harness.topology.package_of(cpu)
+            == harness.topology.package_of(0)
+        ]
+        dst = data.draw(st.sampled_from(pkg0))
+        message = hot_migration_violation(
+            harness.metrics, harness.runqueues, harness.topology,
+            HotMigrationConfig(), task, 0, dst,
+        )
+        assert message is not None and "package" in message
+
+    @settings(max_examples=60, deadline=None)
+    @given(spec=machine_specs, n_extra=st.integers(1, 3), data=st.data())
+    def test_multi_task_source_always_forbidden(self, spec, n_extra, data):
+        harness, task = hot_harness(spec)
+        for _ in range(n_extra):
+            harness.add_task(0, power_w=5.0)
+        dst = data.draw(st.integers(0, len(harness.topology) - 1))
+        message = hot_migration_violation(
+            harness.metrics, harness.runqueues, harness.topology,
+            HotMigrationConfig(), task, 0, dst,
+        )
+        assert message is not None and "source queue" in message
+
+    @settings(max_examples=60, deadline=None)
+    @given(spec=machine_specs, cool_w=st.floats(0.0, 15.0), data=st.data())
+    def test_legal_move_is_never_symmetric(self, spec, cool_w, data):
+        """If src -> dst passes every §4.5 gate, dst -> src must not."""
+        harness, task = hot_harness(spec)
+        n = len(harness.topology)
+        other = [
+            cpu for cpu in range(n)
+            if harness.topology.package_of(cpu)
+            != harness.topology.package_of(0)
+        ]
+        assume(other)
+        dst = data.draw(st.sampled_from(other))
+        config = HotMigrationConfig()
+        forward = hot_migration_violation(
+            harness.metrics, harness.runqueues, harness.topology,
+            config, task, 0, dst,
+        )
+        assume(forward is None)
+        backward = hot_migration_violation(
+            harness.metrics, harness.runqueues, harness.topology,
+            config, task, dst, 0,
+        )
+        assert backward is not None
+
+    def test_textbook_hot_move_is_legal(self):
+        """The §4.5 scenario: lone near-limit task, idle cool remote CPU."""
+        harness, task = hot_harness(MachineSpec.cmp(packages=2, cores=2))
+        message = hot_migration_violation(
+            harness.metrics, harness.runqueues, harness.topology,
+            HotMigrationConfig(), task, 0, 2,
+        )
+        assert message is None
+
+    def test_busy_cool_destination_requires_cool_current(self):
+        harness, task = hot_harness(MachineSpec.cmp(packages=2, cores=2))
+        # A single cool task on the destination is tolerated (§4.5)...
+        harness.add_task(2, power_w=2.0, running=True)
+        ok = hot_migration_violation(
+            harness.metrics, harness.runqueues, harness.topology,
+            HotMigrationConfig(), task, 0, 2,
+        )
+        assert ok is None
+        # ...a comparably hot one is not.
+        harness2, task2 = hot_harness(MachineSpec.cmp(packages=2, cores=2))
+        harness2.add_task(2, power_w=18.0, running=True)
+        message = hot_migration_violation(
+            harness2.metrics, harness2.runqueues, harness2.topology,
+            HotMigrationConfig(), task2, 0, 2,
+        )
+        assert message is not None
+
+
+# -- §4.6 minimum-runqueue-length placement ---------------------------------
+
+class TestPlacementProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        spec=machine_specs,
+        fills=st.lists(st.integers(0, 3), min_size=16, max_size=16),
+        data=st.data(),
+    )
+    def test_argmin_is_legal_everything_longer_is_not(
+        self, spec, fills, data
+    ):
+        harness = Harness(spec)
+        n = len(harness.topology)
+        for cpu in range(n):
+            for _ in range(fills[cpu]):
+                harness.add_task(cpu, power_w=5.0)
+        newcomer = make_task(pid=77_000)
+        lengths = {c: harness.runqueues[c].nr_running for c in range(n)}
+        min_len = min(lengths.values())
+        chosen = data.draw(st.integers(0, n - 1))
+        message = placement_violation(harness.runqueues, newcomer, chosen)
+        if lengths[chosen] == min_len:
+            assert message is None
+        else:
+            assert message is not None
+
+    @settings(max_examples=40, deadline=None)
+    @given(spec=machine_specs, data=st.data())
+    def test_affinity_restricts_the_argmin(self, spec, data):
+        """The minimum is taken over *allowed* CPUs only."""
+        harness = Harness(spec)
+        n = len(harness.topology)
+        assume(n >= 2)
+        allowed_cpu = data.draw(st.integers(0, n - 1))
+        # Every other queue is shorter, but the task may not go there.
+        for cpu in range(n):
+            if cpu != allowed_cpu:
+                continue
+            harness.add_task(cpu, power_w=5.0)
+        pinned = make_task(pid=77_001)
+        pinned.cpus_allowed = frozenset({allowed_cpu})
+        assert placement_violation(
+            harness.runqueues, pinned, allowed_cpu
+        ) is None
+
+    def test_out_of_affinity_choice_is_flagged(self, smp4):
+        pinned = make_task(pid=77_002)
+        pinned.cpus_allowed = frozenset({0})
+        message = placement_violation(smp4.runqueues, pinned, 1)
+        assert message is not None and "affinity" in message

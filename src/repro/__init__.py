@@ -32,6 +32,7 @@ from repro.api import (
 )
 from repro.config import SystemConfig
 from repro.core.policy import EnergyAwareConfig, Policy
+from repro.obs import ObservabilityConfig
 from repro.core.profile import ProfileConfig
 from repro.cpu.power import PowerModelParams
 from repro.cpu.thermal import ThermalParams
@@ -56,6 +57,7 @@ __version__ = "1.0.0"
 __all__ = [
     "EnergyAwareConfig",
     "MachineSpec",
+    "ObservabilityConfig",
     "PROGRAMS",
     "Policy",
     "PolicyComparison",

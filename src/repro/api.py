@@ -114,6 +114,54 @@ class SimulationResult:
     def tracer(self) -> Tracer:
         return self.system.tracer
 
+    # -- observability ---------------------------------------------------------
+    @property
+    def observer(self):
+        """The run's :class:`repro.obs.observer.Observer`, or None.
+
+        Present only when the run was built with ``obs=``; carries the
+        decision audit log, the metrics registry, and (when enabled)
+        the tick-phase profile.
+        """
+        return self.system.observer
+
+    @property
+    def audit(self):
+        """The decision audit log, or None when observability is off."""
+        observer = self.system.observer
+        return observer.audit if observer is not None else None
+
+    def explain(self, pid: int) -> list:
+        """Audit records concerning one task (placements, decisions
+        that selected it, committed migrations).
+
+        Raises if the run was not built with ``obs=`` — an empty answer
+        would be indistinguishable from "the task never moved".
+        """
+        audit = self.audit
+        if audit is None:
+            raise ValueError(
+                "no audit log: run with obs=True (or an ObservabilityConfig "
+                "with audit enabled) to record decisions"
+            )
+        return audit.explain(pid)
+
+    def metrics_snapshot(self) -> dict:
+        """JSON metrics snapshot (requires ``obs=`` with metrics on)."""
+        observer = self.system.observer
+        if observer is None:
+            raise ValueError("no metrics: run with obs=True to record them")
+        return observer.metrics_snapshot()
+
+    def chrome_trace(self, scenario: str = "") -> dict:
+        """Chrome trace-event payload of this run's event log.
+
+        Works on any result — the event stream is always collected.
+        """
+        from repro.obs.chrome_trace import export_chrome_trace
+
+        return export_chrome_trace(self, scenario=scenario)
+
     # -- runtime validation ---------------------------------------------------
     @property
     def violations(self) -> list:
@@ -154,6 +202,7 @@ def run_simulation(
     duration_s: float = 300.0,
     fast_path: bool = True,
     validate=False,
+    obs=False,
 ) -> SimulationResult:
     """Build a system, run it for ``duration_s``, return the result.
 
@@ -167,6 +216,12 @@ def run_simulation(
     :class:`repro.validate.invariants.ValidationConfig`) installs the
     runtime invariant checker; recorded violations are available as
     :attr:`SimulationResult.violations`.
+    ``obs`` (False, True, or a
+    :class:`repro.obs.observer.ObservabilityConfig`) installs the
+    observer: decision audit log, metrics registry, and optional
+    tick-phase profiling, reachable as :attr:`SimulationResult.observer`.
+    Observation never changes results — runs with and without it are
+    bit-identical (the obs tests assert this).
     """
     clock = Clock(config.tick_ms)
     system = System(
@@ -176,6 +231,7 @@ def run_simulation(
         policy_config=policy_config,
         fast_path=fast_path,
         validate=validate,
+        obs=obs,
     )
     engine = Engine(clock, system.tracer)
     engine.register(system)

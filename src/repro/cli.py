@@ -21,6 +21,34 @@ import sys
 
 from repro.experiments import REGISTRY, run_experiment
 
+#: Version of the ``--json`` report envelope shared by ``perf``,
+#: ``validate``, ``trace``, and ``explain``.
+REPORT_SCHEMA = 1
+
+#: Default simulated duration for the telemetry commands (``trace`` /
+#: ``explain``) when run against a pinned perf scenario — long enough
+#: for decisions to fire, short enough for interactive use.
+OBS_DEFAULT_DURATION_S = 60.0
+
+
+def _print_json_report(payload) -> None:
+    """Emit the shared ``--json`` envelope on stdout.
+
+    Every subcommand's machine-readable output has the same top level —
+    ``{"schema": N, "generated_by": "repro <version>", "payload": ...}``
+    — so consumers can dispatch on one shape.
+    """
+    from repro import __version__
+
+    print(json.dumps(
+        {
+            "schema": REPORT_SCHEMA,
+            "generated_by": f"repro {__version__}",
+            "payload": payload,
+        },
+        indent=2, sort_keys=True,
+    ))
+
 
 def _validate_duration(text: str) -> float | None:
     """``--duration`` for the validate matrix: ``short``, ``full``, or
@@ -175,7 +203,60 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--json", action="store_true",
                           help="print the payload as JSON instead of a "
                                "report")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a scenario with observability on and export its "
+             "telemetry (Chrome trace, Prometheus text, metrics "
+             "snapshot, or raw events)",
+    )
+    _add_obs_source_options(trace)
+    trace.add_argument("--format", choices=("chrome", "prometheus",
+                                            "metrics", "events"),
+                       default="chrome",
+                       help="export format (default: chrome — a "
+                            "trace-event JSON loadable in Perfetto)")
+    trace.add_argument("--output", default=None, metavar="PATH",
+                       help="write the export to PATH instead of stdout")
+    trace.add_argument("--json", action="store_true",
+                       help="wrap stdout output in the shared report "
+                            "envelope")
+
+    explain = sub.add_parser(
+        "explain",
+        help="query the decision audit log of a scenario run "
+             "('why did task 7 move to CPU 12?')",
+    )
+    _add_obs_source_options(explain)
+    explain.add_argument("--pid", type=int, default=None,
+                         help="show every audit record concerning this "
+                              "task (placements, decisions, migrations)")
+    explain.add_argument("--site", default=None, metavar="SITE",
+                         help="filter by decision site (energy_balance, "
+                              "hot_migration, placement, migration)")
+    explain.add_argument("--accepted-only", action="store_true",
+                         help="show only decisions that resulted in an "
+                              "action")
+    explain.add_argument("--json", action="store_true",
+                         help="print records as JSON in the shared "
+                              "report envelope")
     return parser
+
+
+def _add_obs_source_options(parser: argparse.ArgumentParser) -> None:
+    """Shared trace/explain options choosing what to run."""
+    parser.add_argument("--scenario", default="mixed-16cpu", metavar="NAME",
+                        help="pinned perf scenario to run (default: "
+                             "mixed-16cpu)")
+    parser.add_argument("--file", default=None, metavar="PATH",
+                        help="run a scenario JSON file instead of a "
+                             "pinned scenario")
+    parser.add_argument("--duration", type=_positive_duration, default=None,
+                        metavar="SECONDS",
+                        help=f"simulated duration (default: "
+                             f"{OBS_DEFAULT_DURATION_S:g} for pinned "
+                             f"scenarios, the file's own duration for "
+                             f"--file)")
 
 
 def _resolve_experiment(parser: argparse.ArgumentParser, name: str) -> str:
@@ -347,7 +428,7 @@ def _cmd_perf(parser, args) -> int:
                              repeats=args.repeats)
     path = write_bench_json(payload, args.output)
     if args.json:
-        print(json.dumps(payload, indent=2, sort_keys=True))
+        _print_json_report(payload)
     else:
         print(format_bench_report(payload))
     print(f"wrote {path}", file=sys.stderr)
@@ -390,10 +471,142 @@ def _cmd_validate(parser, args) -> int:
         path = write_validation_json(payload, args.output)
         print(f"wrote {path}", file=sys.stderr)
     if args.json:
-        print(json.dumps(payload, indent=2, sort_keys=True))
+        _print_json_report(payload)
     else:
         print(format_validation_report(payload))
     return 0 if payload["ok"] else 1
+
+
+def _run_observed(parser, args):
+    """Shared trace/explain execution: resolve the source, run with
+    observability on, return (result, scenario name)."""
+    from repro.api import run_simulation
+
+    if args.file is not None:
+        from repro.scenario import load_scenario
+
+        try:
+            scenario = load_scenario(args.file)
+        except (OSError, ValueError, KeyError) as exc:
+            parser.error(f"cannot load scenario {args.file!r}: {exc}")
+        duration = (
+            args.duration if args.duration is not None else scenario.duration_s
+        )
+        result = run_simulation(
+            scenario.config, scenario.workload, policy=scenario.policy,
+            duration_s=duration, obs=True,
+        )
+        return result, scenario.workload.name
+    from repro.perf import scenario_by_name
+
+    try:
+        scenario = scenario_by_name(args.scenario)
+    except ValueError as exc:
+        parser.error(str(exc))
+    config, workload = scenario.build()
+    duration = (
+        args.duration if args.duration is not None else OBS_DEFAULT_DURATION_S
+    )
+    result = run_simulation(
+        config, workload, policy=scenario.policy, duration_s=duration,
+        obs=True,
+    )
+    return result, scenario.name
+
+
+def _cmd_trace(parser, args) -> int:
+    from repro.obs import PROMETHEUS_CONTENT_TYPE
+
+    result, name = _run_observed(parser, args)
+    if args.format == "chrome":
+        export = result.chrome_trace(scenario=name)
+        text = json.dumps(export, indent=2, sort_keys=True)
+    elif args.format == "metrics":
+        export = result.metrics_snapshot()
+        text = json.dumps(export, indent=2, sort_keys=True)
+    elif args.format == "prometheus":
+        text = result.observer.prometheus().rstrip("\n")
+        export = {"content_type": PROMETHEUS_CONTENT_TYPE, "text": text + "\n"}
+    else:  # events
+        export = {
+            "scenario": name,
+            "events": [e.to_dict() for e in result.tracer.events],
+        }
+        text = json.dumps(export, indent=2, sort_keys=True)
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+        if not args.json:
+            return 0
+    if args.json:
+        _print_json_report(
+            {"scenario": name, "format": args.format, "export": export}
+        )
+    elif args.output is None:
+        print(text)
+    return 0
+
+
+def _format_audit_record(record) -> str:
+    chosen = str(record.chosen) if record.chosen >= 0 else "-"
+    status = "accepted" if record.accepted else "declined"
+    line = (
+        f"[{record.time_s:9.3f}s] #{record.seq:<6} {record.site:<14} "
+        f"cpu={record.cpu:<3} pid={record.pid:<5} -> {chosen:<3} {status}"
+    )
+    if record.detail:
+        line += "\n    " + json.dumps(record.to_dict()["detail"],
+                                      sort_keys=True)
+    return line
+
+
+def _cmd_explain(parser, args) -> int:
+    from repro.obs import AUDIT_SITES
+
+    if args.site is not None and args.site not in AUDIT_SITES:
+        parser.error(
+            f"unknown audit site {args.site!r}; expected one of "
+            f"{', '.join(AUDIT_SITES)}"
+        )
+    result, name = _run_observed(parser, args)
+    audit = result.audit
+    if args.pid is None and args.site is None and not args.accepted_only:
+        # Summary mode: what did the audit log capture?
+        payload = {
+            "scenario": name,
+            "records": len(audit),
+            "dropped": audit.dropped,
+            "sites": audit.sites_seen(),
+        }
+        if args.json:
+            _print_json_report(payload)
+        else:
+            print(f"{name}: {len(audit)} audit records "
+                  f"({audit.dropped} dropped)")
+            for site, count in audit.sites_seen().items():
+                print(f"  {site:<16} {count}")
+            print("use --pid / --site to select records")
+        return 0
+    records = audit.query(
+        site=args.site,
+        pid=args.pid,
+        accepted=True if args.accepted_only else None,
+    )
+    if args.json:
+        _print_json_report({
+            "scenario": name,
+            "pid": args.pid,
+            "site": args.site,
+            "matched": len(records),
+            "records": [r.to_dict() for r in records],
+        })
+    else:
+        for record in records:
+            print(_format_audit_record(record))
+        print(f"{len(records)} record(s) matched", file=sys.stderr)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -432,6 +645,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_perf(parser, args)
     if args.command == "validate":
         return _cmd_validate(parser, args)
+    if args.command == "trace":
+        return _cmd_trace(parser, args)
+    if args.command == "explain":
+        return _cmd_explain(parser, args)
     experiment = _resolve_experiment(parser, args.experiment)
     report = run_experiment(experiment, duration_s=args.duration,
                             seed=args.seed)

@@ -105,6 +105,8 @@ class EnergyBalancer:
         #: imbalances are resolved "within the lowest domain possible"
         #: becomes measurable here.
         self.moves_by_level: dict[str, int] = {}
+        #: decision audit hook (an AuditLog), installed by repro.obs.
+        self.audit = None
 
     def _count_level(self, domain, n: int) -> None:
         if n:
@@ -157,15 +159,43 @@ class EnergyBalancer:
         local_rq = self.runqueues[cpu_id]
         moved = 0
         for _ in range(self.config.max_energy_moves):
-            if not self._remote_is_hotter(remote_rq.cpu_id, cpu_id):
-                break
-            task = self._pick_hot_task(remote_rq, local_rq)
+            # Hoisted form of "break unless hotter, break unless a task
+            # qualifies" so the audit hook can observe both outcomes;
+            # control flow (and RNG/state, both calls are pure reads) is
+            # unchanged.
+            hotter = self._remote_is_hotter(remote_rq.cpu_id, cpu_id)
+            task = self._pick_hot_task(remote_rq, local_rq) if hotter else None
+            if self.audit is not None:
+                self._audit_pull(cpu_id, remote_rq.cpu_id, domain, hotter, task)
             if task is None:
                 break
             self.migrate(task, remote_rq.cpu_id, cpu_id, "energy_balance")
             moved += 1
             moved += self._exchange_if_imbalanced(local_rq, remote_rq, avoid=task)
         return moved
+
+    def _audit_pull(self, cpu_id, remote_cpu, domain, hotter, task) -> None:
+        """Record one §4.4 pull evaluation: the dual-hysteresis ratios
+        compared, their margins, and whether a task qualified."""
+        m = self.metrics
+        self.audit.record(
+            site="energy_balance",
+            cpu=cpu_id,
+            pid=task.pid if task is not None else -1,
+            chosen=cpu_id if task is not None else -1,
+            accepted=task is not None,
+            detail={
+                "domain": domain.name,
+                "remote_cpu": remote_cpu,
+                "remote_is_hotter": hotter,
+                "local_thermal_ratio": m.thermal_power_ratio(cpu_id),
+                "remote_thermal_ratio": m.thermal_power_ratio(remote_cpu),
+                "local_rq_ratio": m.runqueue_power_ratio(cpu_id),
+                "remote_rq_ratio": m.runqueue_power_ratio(remote_cpu),
+                "thermal_margin_ratio": self.config.thermal_margin_ratio,
+                "rq_margin_ratio": self.config.rq_margin_ratio,
+            },
+        )
 
     def _remote_is_hotter(self, remote_cpu: int, local_cpu: int) -> bool:
         """The §4.4 dual condition with margins (ablatable)."""

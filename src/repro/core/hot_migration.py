@@ -81,6 +81,8 @@ class HotTaskMigrator:
         #: bottom-up, so node-level moves dominating top-level moves is
         #: Figure 9's "never across the node boundary" in aggregate.
         self.moves_by_level: dict[str, int] = {}
+        #: decision audit hook (an AuditLog), installed by repro.obs.
+        self.audit = None
 
     # -- trigger ---------------------------------------------------------------
     def _single_task(self, cpu_id: int) -> Task | None:
@@ -110,6 +112,9 @@ class HotTaskMigrator:
         assert hot_task is not None
         m = self.metrics
         source_heat = m.package_thermal_sum_w(cpu_id)
+        # When auditing, accumulate the walk: one entry per level with
+        # the coolest candidate and why it was rejected (or taken).
+        walk = [] if self.audit is not None else None
         for domain in self.hierarchy.chain(cpu_id):
             if domain.smt_level:
                 continue  # a sibling shares the chip (§4.7)
@@ -119,14 +124,24 @@ class HotTaskMigrator:
             dest = min(
                 candidates, key=lambda c: (m.package_thermal_sum_w(c), c)
             )
-            if source_heat - m.package_thermal_sum_w(dest) < self.config.min_delta_w:
+            dest_heat = m.package_thermal_sum_w(dest)
+            if source_heat - dest_heat < self.config.min_delta_w:
+                if walk is not None:
+                    walk.append(self._step(domain, dest, dest_heat,
+                                           "not_cool_enough"))
                 continue  # coolest CPU at this level not cool enough: ascend
             if not hot_task.allowed_on(dest):
+                if walk is not None:
+                    walk.append(self._step(domain, dest, dest_heat, "affinity"))
                 continue  # affinity mask pins the task away: ascend
             dest_rq = self.runqueues[dest]
             if dest_rq.is_idle:
                 self.migrate(hot_task, cpu_id, dest, "hot_task")
                 self._note_level(domain)
+                if walk is not None:
+                    walk.append(self._step(domain, dest, dest_heat, "taken"))
+                    self._audit_walk(cpu_id, hot_task, source_heat, walk,
+                                     dest=dest, mode="idle")
                 return True
             if self._runs_single_cool_task(dest_rq, hot_task) and (
                 dest_rq.current is not None and dest_rq.current.allowed_on(cpu_id)
@@ -135,9 +150,55 @@ class HotTaskMigrator:
                 self.migrate(hot_task, cpu_id, dest, "hot_task")
                 self.migrate(cool_task, dest, cpu_id, "exchange")
                 self._note_level(domain)
+                if walk is not None:
+                    walk.append(self._step(domain, dest, dest_heat, "taken"))
+                    self._audit_walk(cpu_id, hot_task, source_heat, walk,
+                                     dest=dest, mode="exchange",
+                                     exchange_pid=cool_task.pid)
                 return True
             # Destination busy with unsuitable work: ascend.
+            if walk is not None:
+                walk.append(self._step(domain, dest, dest_heat, "busy"))
+        if walk is not None:
+            self._audit_walk(cpu_id, hot_task, source_heat, walk)
         return False
+
+    @staticmethod
+    def _step(domain, dest: int, dest_heat_w: float, outcome: str) -> dict:
+        return {
+            "level": domain.name,
+            "coolest_cpu": dest,
+            "dest_heat_w": dest_heat_w,
+            "outcome": outcome,
+        }
+
+    def _audit_walk(
+        self,
+        cpu_id: int,
+        hot_task: Task,
+        source_heat_w: float,
+        walk: list[dict],
+        dest: int = -1,
+        mode: str = "none",
+        exchange_pid: int = -1,
+    ) -> None:
+        """Record one triggered Figure-5 walk (taken or exhausted)."""
+        detail = {
+            "source_heat_w": source_heat_w,
+            "min_delta_w": self.config.min_delta_w,
+            "mode": mode,
+            "walk": walk,
+        }
+        if exchange_pid != -1:
+            detail["exchange_pid"] = exchange_pid
+        self.audit.record(
+            site="hot_migration",
+            cpu=cpu_id,
+            pid=hot_task.pid,
+            chosen=dest,
+            accepted=dest != -1,
+            detail=detail,
+        )
 
     def _note_level(self, domain) -> None:
         self.moves_by_level[domain.name] = (

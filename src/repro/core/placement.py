@@ -53,6 +53,8 @@ class InitialPlacement:
         self.runqueues = runqueues
         self.config = config if config is not None else PlacementConfig()
         self._first_slice_power: dict[int, float] = {}
+        #: decision audit hook (an AuditLog), installed by repro.obs.
+        self.audit = None
 
     # -- the inode hash table ----------------------------------------------------
     def initial_power_for(self, inode: int) -> float:
@@ -85,10 +87,34 @@ class InitialPlacement:
             cpu for cpu in allowed if self.runqueues[cpu].nr_running == min_len
         ]
         target_ratio = self.metrics.system_avg_runqueue_ratio()
-        return min(
+        chosen = min(
             eligible,
             key=lambda cpu: (
                 abs(self.metrics.would_be_ratio(cpu, new_power) - target_ratio),
                 cpu,
             ),
         )
+        if self.audit is not None:
+            self.audit.record(
+                site="placement",
+                cpu=chosen,
+                pid=task.pid,
+                chosen=chosen,
+                accepted=True,
+                detail={
+                    "predicted_power_w": new_power,
+                    "known_binary": task.inode in self._first_slice_power,
+                    "target_ratio": target_ratio,
+                    "min_runqueue_len": min_len,
+                    "candidates": [
+                        {
+                            "cpu": cpu,
+                            "would_be_ratio": self.metrics.would_be_ratio(
+                                cpu, new_power
+                            ),
+                        }
+                        for cpu in eligible
+                    ],
+                },
+            )
+        return chosen

@@ -1,0 +1,223 @@
+"""Decision audit log: *why* the scheduler did what it did.
+
+The paper's §4.4–§4.6 decisions — the dual-hysteresis pull, the hot-task
+migration walk, the initial-placement choice — each compare concrete
+power ratios and reject concrete alternatives, yet the simulator only
+records their *outcomes* (``EventRecord`` migrations).  The audit log
+captures the decisions themselves: every record stores the site, the
+quantities compared, the chosen CPU, and the rejected alternatives, so a
+post-run query can answer "why did task 7 move to CPU 12 at t=3.2s?".
+
+Records are emitted by hook attributes (``audit``) on the policy
+components; the hooks are ``None`` unless the run was built with
+``obs=`` (see :mod:`repro.obs.observer`), so the disabled cost is one
+attribute test per decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+#: Version tag for serialised audit records; bump on layout changes.
+AUDIT_SCHEMA = 1
+
+#: The decision sites that emit records.  ``migration`` is the outcome
+#: site (one record per committed move, emitted by the kernel); the
+#: others are decision sites emitted by the policy components.
+AUDIT_SITES = (
+    "energy_balance",   # §4.4 dual-hysteresis pull evaluation
+    "hot_migration",    # §4.5 Figure-5 destination walk
+    "placement",        # §4.6 initial placement choice
+    "migration",        # committed migration (any reason)
+)
+
+
+@dataclass(frozen=True, slots=True)
+class AuditRecord:
+    """One audited decision.
+
+    Attributes
+    ----------
+    seq:
+        Monotonic sequence number within the run (records at the same
+        simulated time keep their emission order).
+    time_ms:
+        Simulated time of the decision.
+    site:
+        One of :data:`AUDIT_SITES`.
+    cpu:
+        The CPU the decision ran for (balancing CPU, triggering CPU,
+        or the chosen CPU for placements).
+    pid:
+        Task the decision concerned, or ``-1``.
+    chosen:
+        Destination CPU the decision selected, or ``-1`` when the
+        decision rejected every alternative.
+    accepted:
+        Whether the decision resulted in an action (pull, migration,
+        placement) or was declined.
+    detail:
+        The quantities compared and the rejected alternatives.
+    """
+
+    seq: int
+    time_ms: int
+    site: str
+    cpu: int = -1
+    pid: int = -1
+    chosen: int = -1
+    accepted: bool = False
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def time_s(self) -> float:
+        return self.time_ms / 1000.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready form; ``detail`` is key-sorted for stable output."""
+        return {
+            "schema": AUDIT_SCHEMA,
+            "seq": self.seq,
+            "time_ms": self.time_ms,
+            "site": self.site,
+            "cpu": self.cpu,
+            "pid": self.pid,
+            "chosen": self.chosen,
+            "accepted": self.accepted,
+            "detail": _sorted_detail(self.detail),
+        }
+
+
+def _sorted_detail(detail: dict) -> dict:
+    """Key-sort ``detail`` recursively (lists keep their order)."""
+    out = {}
+    for key in sorted(detail):
+        value = detail[key]
+        if isinstance(value, dict):
+            value = _sorted_detail(value)
+        elif isinstance(value, list):
+            value = [
+                _sorted_detail(v) if isinstance(v, dict) else v for v in value
+            ]
+        out[key] = value
+    return out
+
+
+class AuditLog:
+    """Append-only log of :class:`AuditRecord` with post-run queries.
+
+    Parameters
+    ----------
+    now_ms:
+        Callable returning the current simulated time in milliseconds;
+        the log stamps every record with it so emitting components do
+        not need a clock.
+    limit:
+        Optional cap on retained records.  Once reached, further
+        records are counted in :attr:`dropped` instead of stored —
+        long sweeps can bound audit memory without disabling it.
+    """
+
+    def __init__(
+        self, now_ms: Callable[[], int], limit: int | None = None
+    ) -> None:
+        if limit is not None and limit < 1:
+            raise ValueError(f"limit must be positive or None, got {limit}")
+        self._now_ms = now_ms
+        self._limit = limit
+        self.records: list[AuditRecord] = []
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- emission ---------------------------------------------------------
+    def record(
+        self,
+        site: str,
+        cpu: int = -1,
+        pid: int = -1,
+        chosen: int = -1,
+        accepted: bool = False,
+        detail: dict | None = None,
+    ) -> None:
+        """Append one decision record stamped with the current time."""
+        if site not in AUDIT_SITES:
+            raise ValueError(
+                f"unknown audit site {site!r}; expected one of {AUDIT_SITES}"
+            )
+        if self._limit is not None and len(self.records) >= self._limit:
+            self.dropped += 1
+            return
+        self.records.append(
+            AuditRecord(
+                seq=len(self.records) + self.dropped,
+                time_ms=self._now_ms(),
+                site=site,
+                cpu=cpu,
+                pid=pid,
+                chosen=chosen,
+                accepted=accepted,
+                detail=detail if detail is not None else {},
+            )
+        )
+
+    # -- queries ----------------------------------------------------------
+    def query(
+        self,
+        site: str | None = None,
+        pid: int | None = None,
+        cpu: int | None = None,
+        accepted: bool | None = None,
+        since_ms: int | None = None,
+        until_ms: int | None = None,
+    ) -> list[AuditRecord]:
+        """Records matching every given filter, in emission order."""
+        out = []
+        for r in self.records:
+            if site is not None and r.site != site:
+                continue
+            if pid is not None and r.pid != pid:
+                continue
+            if cpu is not None and r.cpu != cpu and r.chosen != cpu:
+                continue
+            if accepted is not None and r.accepted is not accepted:
+                continue
+            if since_ms is not None and r.time_ms < since_ms:
+                continue
+            if until_ms is not None and r.time_ms > until_ms:
+                continue
+            out.append(r)
+        return out
+
+    def migrations_of(self, pid: int) -> list[AuditRecord]:
+        """The committed-migration records for one task.
+
+        There is exactly one ``migration``-site record per migration
+        the kernel performed, so this list answers "when and why did
+        this task move" completely.
+        """
+        return self.query(site="migration", pid=pid)
+
+    def explain(self, pid: int) -> list[AuditRecord]:
+        """Every record concerning one task: its placements, the
+        decisions that selected it, and its committed migrations."""
+        return self.query(pid=pid)
+
+    def sites_seen(self) -> dict[str, int]:
+        """Record counts by site, key-sorted."""
+        counts: dict[str, int] = {}
+        for r in self.records:
+            counts[r.site] = counts.get(r.site, 0) + 1
+        return {site: counts[site] for site in sorted(counts)}
+
+    def to_dicts(self, records: Iterable[AuditRecord] | None = None) -> list[dict]:
+        """Serialise ``records`` (default: all) via ``to_dict``."""
+        chosen = self.records if records is None else records
+        return [r.to_dict() for r in chosen]
+
+    def __repr__(self) -> str:
+        return (
+            f"AuditLog(records={len(self.records)}, dropped={self.dropped})"
+        )

@@ -1,0 +1,170 @@
+"""Chrome trace-event export (loadable in Perfetto / chrome://tracing).
+
+Renders a run's :class:`~repro.sim.events.EventRecord` stream as the
+timelines the paper's evaluation reads off its figures: one lane per
+logical CPU showing task residency, arrows (flow events) for every
+migration, and shaded intervals while a CPU is throttled.
+
+The export needs nothing beyond the tracer the simulator always fills —
+observability does not have to be enabled — because it is a pure
+re-projection of the existing event log:
+
+* residency slices (``ph: "X"``) span a task's stay on one runqueue,
+  opened by ``TASK_START``/``TASK_WAKE``/migration-in and closed by
+  ``TASK_BLOCK``/``TASK_EXIT``/migration-out (or end of run);
+* each migration emits a flow-start (``ph: "s"``) on the source lane
+  and a flow-finish (``ph: "f"``) on the destination lane sharing one
+  flow id, which viewers draw as an arrow;
+* ``THROTTLE_ON``/``THROTTLE_OFF`` pairs become ``throttled`` slices.
+
+Timestamps are microseconds, as the trace-event format specifies.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.events import EventKind, EventRecord
+from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api import SimulationResult
+
+#: ``otherData.schema`` tag of the emitted payload.
+CHROME_TRACE_SCHEMA = "repro-chrome-trace/1"
+
+#: The single trace-event "process" all CPU lanes live under.
+_PID = 0
+
+
+def _slice(name: str, cat: str, start_ms: int, end_ms: int, cpu: int,
+           args: dict | None = None) -> dict:
+    event = {
+        "name": name,
+        "cat": cat,
+        "ph": "X",
+        "ts": start_ms * 1000,
+        "dur": max(0, (end_ms - start_ms) * 1000),
+        "pid": _PID,
+        "tid": cpu,
+    }
+    if args:
+        event["args"] = args
+    return event
+
+
+def chrome_trace_events(
+    tracer: Tracer, n_cpus: int, end_ms: int
+) -> list[dict]:
+    """The trace-event list for one run's event log."""
+    events: list[dict] = []
+    for cpu in range(n_cpus):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": _PID, "tid": cpu,
+            "args": {"name": f"cpu {cpu:02d}"},
+        })
+    events.append({
+        "name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
+        "args": {"name": "repro simulated machine"},
+    })
+
+    pid_names: dict[int, str] = {}
+    residency: dict[int, tuple[int, int]] = {}  # pid -> (cpu, since_ms)
+    throttled_since: dict[int, int] = {}
+    flow_id = 0
+
+    def close_residency(pid: int, until_ms: int) -> None:
+        open_interval = residency.pop(pid, None)
+        if open_interval is None:
+            return
+        cpu, since_ms = open_interval
+        name = pid_names.get(pid, "task")
+        events.append(
+            _slice(f"{name} pid={pid}", "task", since_ms, until_ms, cpu,
+                   args={"pid": pid})
+        )
+
+    for record in tracer.events:
+        kind = record.kind
+        if kind is EventKind.TASK_START:
+            pid_names[record.pid] = record.detail.get("name", "task")
+            residency[record.pid] = (record.cpu, record.time_ms)
+        elif kind is EventKind.TASK_WAKE:
+            close_residency(record.pid, record.time_ms)
+            residency[record.pid] = (record.cpu, record.time_ms)
+        elif kind in (EventKind.TASK_BLOCK, EventKind.TASK_EXIT):
+            close_residency(record.pid, record.time_ms)
+        elif kind is EventKind.MIGRATION:
+            src = record.detail.get("src", -1)
+            dst = record.detail.get("dst", record.cpu)
+            reason = record.detail.get("reason", "")
+            close_residency(record.pid, record.time_ms)
+            residency[record.pid] = (dst, record.time_ms)
+            flow_id += 1
+            name = pid_names.get(record.pid, "task")
+            common = {
+                "name": f"migrate {name} pid={record.pid}",
+                "cat": "migration",
+                "id": flow_id,
+                "pid": _PID,
+                "args": {"pid": record.pid, "reason": reason,
+                         "src": src, "dst": dst},
+            }
+            events.append({**common, "ph": "s", "ts": record.time_ms * 1000,
+                           "tid": src})
+            events.append({**common, "ph": "f", "bp": "e",
+                           "ts": record.time_ms * 1000 + 1, "tid": dst})
+        elif kind is EventKind.THROTTLE_ON:
+            throttled_since.setdefault(record.cpu, record.time_ms)
+        elif kind is EventKind.THROTTLE_OFF:
+            since_ms = throttled_since.pop(record.cpu, None)
+            if since_ms is not None:
+                events.append(
+                    _slice("throttled", "throttle", since_ms,
+                           record.time_ms, record.cpu)
+                )
+
+    for pid in sorted(residency):
+        close_residency(pid, end_ms)
+    for cpu in sorted(throttled_since):
+        events.append(
+            _slice("throttled", "throttle", throttled_since[cpu], end_ms, cpu)
+        )
+    return events
+
+
+def chrome_trace(
+    tracer: Tracer, n_cpus: int, duration_s: float, scenario: str = ""
+) -> dict:
+    """The complete JSON-object-form trace payload."""
+    end_ms = int(round(duration_s * 1000))
+    return {
+        "traceEvents": chrome_trace_events(tracer, n_cpus, end_ms),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": CHROME_TRACE_SCHEMA,
+            "scenario": scenario,
+            "duration_s": duration_s,
+            "n_cpus": n_cpus,
+        },
+    }
+
+
+def export_chrome_trace(result: "SimulationResult", scenario: str = "") -> dict:
+    """Convenience wrapper taking a finished simulation result."""
+    return chrome_trace(
+        result.tracer, result.system.n_cpus, result.duration_s,
+        scenario=scenario,
+    )
+
+
+def migration_flow_events(payload: dict) -> list[dict]:
+    """The flow-start events of a trace payload (one per migration).
+
+    Used by tests and the CI smoke job to assert the export carries
+    the migration arrows.
+    """
+    return [
+        e for e in payload["traceEvents"]
+        if e.get("ph") == "s" and e.get("cat") == "migration"
+    ]

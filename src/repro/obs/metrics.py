@@ -1,0 +1,212 @@
+"""Metrics registry: counters, gauges, and histograms with labels.
+
+The shape follows the Prometheus data model (the sensor/metrics-bus
+layer of runtime resource managers like NRM): a metric has a name, a
+help string, a type, and one sample per distinct label set.  The
+registry is deliberately tiny — the simulator populates it either live
+(histograms fed by the profiling hooks) or by snapshot at export time
+(counters mirrored from the tracer, gauges read from system state), and
+the exporters in :mod:`repro.obs.exporters` render it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Mapping
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets (seconds) tuned for tick-loop phase and
+#: balance-pass latencies: 10 µs up to 100 ms.
+DEFAULT_BUCKETS = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2, 1e-1,
+)
+
+LabelSet = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, str] | None) -> LabelSet:
+    if not labels:
+        return ()
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise ValueError(f"invalid label name {name!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Base: name, help, type, and one value per label set."""
+
+    metric_type = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self._samples: dict[LabelSet, float] = {}
+
+    def value(self, labels: Mapping[str, str] | None = None) -> float:
+        """Current value for a label set (0.0 if never touched)."""
+        return self._samples.get(_label_key(labels), 0.0)
+
+    def set_sample(
+        self, value: float, labels: Mapping[str, str] | None = None
+    ) -> None:
+        """Overwrite a sample — the snapshot-sync path exporters use
+        when mirroring already-aggregated values (tracer counters,
+        live gauges) into the registry."""
+        self._samples[_label_key(labels)] = float(value)
+
+    def samples(self) -> list[tuple[LabelSet, float]]:
+        """(labels, value) pairs sorted by labels for stable export."""
+        return sorted(self._samples.items())
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.name!r}, "
+            f"samples={len(self._samples)})"
+        )
+
+
+class Counter(Metric):
+    """Monotonically increasing value (per label set)."""
+
+    metric_type = "counter"
+
+    def inc(
+        self, amount: float = 1.0, labels: Mapping[str, str] | None = None
+    ) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        key = _label_key(labels)
+        self._samples[key] = self._samples.get(key, 0.0) + amount
+
+
+class Gauge(Metric):
+    """Point-in-time value that can move both ways."""
+
+    metric_type = "gauge"
+
+    def set(self, value: float, labels: Mapping[str, str] | None = None) -> None:
+        self._samples[_label_key(labels)] = float(value)
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    Buckets are upper bounds; an observation lands in every bucket
+    whose bound is >= the value, plus the implicit ``+Inf`` bucket.
+    """
+
+    metric_type = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("need at least one bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be distinct")
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        # label set -> (per-bound counts, sum, count)
+        self._series: dict[LabelSet, list] = {}
+
+    def observe(
+        self, value: float, labels: Mapping[str, str] | None = None
+    ) -> None:
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = [[0] * len(self.bounds), 0.0, 0]
+            self._series[key] = series
+        counts, _, _ = series
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                counts[i] += 1
+        series[1] += value
+        series[2] += 1
+
+    def samples(self) -> list[tuple[LabelSet, list[int], float, int]]:
+        """(labels, bucket counts, sum, count), sorted by labels."""
+        return [
+            (key, list(counts), total, n)
+            for key, (counts, total, n) in sorted(self._series.items())
+        ]
+
+    def count(self, labels: Mapping[str, str] | None = None) -> int:
+        series = self._series.get(_label_key(labels))
+        return series[2] if series is not None else 0
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, series={len(self._series)})"
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create registration.
+
+    Re-registering a name returns the existing metric; registering the
+    same name as a different type is an error (exporters key output on
+    the type line).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric | Histogram] = {}
+
+    def _register(self, cls, name: str, help: str, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.metric_type}"
+                )
+            return existing
+        metric = cls(name, help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> Metric | Histogram:
+        try:
+            return self._metrics[name]
+        except KeyError:
+            raise KeyError(
+                f"no metric {name!r}; registered: {sorted(self._metrics)}"
+            ) from None
+
+    def collect(self) -> list[Metric | Histogram]:
+        """All metrics sorted by name (the export order)."""
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({sorted(self._metrics)!r})"

@@ -1,0 +1,216 @@
+"""Binding the observability pieces to a running :class:`~repro.system.System`.
+
+:class:`Observer` owns the run's :class:`~repro.obs.audit.AuditLog`,
+:class:`~repro.obs.metrics.MetricsRegistry`, and
+:class:`~repro.obs.profiling.PhaseTimers`, and installs the audit hooks
+on the policy components.  It is built by ``System`` when the run is
+constructed with ``obs=`` and reachable as ``system.observer`` /
+``SimulationResult.observer`` afterwards.
+
+Design rule carried over from the PR-3 validator: observation must not
+perturb the simulation.  Audit hooks read memoised metrics (no RNG, no
+state writes), metrics are populated by *snapshot* at export time
+(:meth:`Observer.refresh`), and the only live instrumentation —
+wall-clock phase timers and the balance-pass latency histogram — is a
+separate ``profiling`` opt-in whose numbers never enter deterministic
+payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.obs.audit import AuditLog
+from repro.obs.exporters import json_snapshot, prometheus_text
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.profiling import PhaseTimers
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system import System
+
+
+@dataclass(frozen=True, slots=True)
+class ObservabilityConfig:
+    """What the observer records.
+
+    Attributes
+    ----------
+    audit:
+        Emit decision audit records (§4.4/§4.5/§4.6 sites plus one
+        record per committed migration).
+    metrics:
+        Keep a metrics registry for the Prometheus/JSON exporters.
+    profiling:
+        Time the tick-loop phases and balance passes with wall clocks.
+        Off by default: durations are nondeterministic.
+    max_audit_records:
+        Optional cap on retained audit records (see
+        :class:`~repro.obs.audit.AuditLog`).
+    """
+
+    audit: bool = True
+    metrics: bool = True
+    profiling: bool = False
+    max_audit_records: int | None = None
+
+    @classmethod
+    def coerce(cls, value) -> "ObservabilityConfig | None":
+        """Normalise an ``obs=`` argument: False/None disables, True
+        means the default configuration."""
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        raise TypeError(
+            f"obs must be a bool or ObservabilityConfig, got {type(value).__name__}"
+        )
+
+
+class Observer:
+    """One run's observability state, bound to its system."""
+
+    def __init__(self, system: "System", config: ObservabilityConfig) -> None:
+        self.config = config
+        self.system = system
+        self.audit: AuditLog | None = None
+        if config.audit:
+            self.audit = AuditLog(
+                lambda: system._now_ms, limit=config.max_audit_records
+            )
+        self.registry: MetricsRegistry | None = (
+            MetricsRegistry() if config.metrics else None
+        )
+        self.profile: PhaseTimers | None = (
+            PhaseTimers() if config.profiling else None
+        )
+        # The one live-fed metric: balance-pass wall latency.  Exists
+        # only when both profiling (wall clocks allowed) and metrics
+        # (somewhere to put it) are on; System._housekeeping feeds it.
+        self.balance_hist: Histogram | None = None
+        if self.profile is not None and self.registry is not None:
+            self.balance_hist = self.registry.histogram(
+                "repro_balance_pass_seconds",
+                "Wall-clock latency of one periodic balance pass.",
+            )
+        self._install()
+
+    def _install(self) -> None:
+        """Hand the audit log to the policy components that emit records.
+
+        The components carry an ``audit`` attribute that defaults to
+        ``None``; the baseline policy has no components and simply gets
+        no hooks.
+        """
+        if self.audit is None:
+            return
+        policy = self.system.policy
+        for name in ("balancer", "hot_migrator", "placement"):
+            component = getattr(policy, name, None)
+            if component is not None:
+                component.audit = self.audit
+
+    # -- metrics snapshot -----------------------------------------------------
+    def refresh(self) -> MetricsRegistry:
+        """Sync the registry with the system's current state.
+
+        Counters mirror the tracer's :class:`CounterSet`; gauges read
+        the live machine state.  Called by the exporters' entry points,
+        so a registry is always current when rendered.
+        """
+        registry = self.registry
+        if registry is None:
+            raise ValueError("metrics are disabled in this ObservabilityConfig")
+        system = self.system
+
+        migrations = registry.counter(
+            "repro_migrations_total", "Committed migrations by reason."
+        )
+        jobs = registry.counter(
+            "repro_jobs_completed_total", "Jobs completed by program."
+        )
+        other = registry.counter(
+            "repro_events_total", "Remaining tracer counters, by name."
+        )
+        for key, value in system.tracer.counters.as_dict().items():
+            if key.startswith("migrations:"):
+                migrations.set_sample(value, {"reason": key.split(":", 1)[1]})
+            elif key.startswith("jobs:"):
+                jobs.set_sample(value, {"program": key.split(":", 1)[1]})
+            elif key not in ("migrations", "jobs_total"):
+                # the unlabelled totals are the sums of the labelled
+                # families above; anything else is mirrored verbatim
+                other.set_sample(value, {"counter": key})
+
+        thermal = registry.gauge(
+            "repro_cpu_thermal_power_watts",
+            "Per-logical-CPU thermal power (the §4.1 slow metric).",
+        )
+        utilization = registry.gauge(
+            "repro_cpu_utilization_ratio", "Busy fraction of the run so far."
+        )
+        throttled = registry.gauge(
+            "repro_cpu_throttled_fraction", "Fraction of the run spent throttled."
+        )
+        for c in range(system.n_cpus):
+            labels = {"cpu": str(c)}
+            thermal.set_sample(system.metrics.thermal_power_w(c), labels)
+            utilization.set_sample(system.cpu_utilization(c), labels)
+            throttled.set_sample(system.throttle.throttled_fraction(c), labels)
+
+        pkg_temp = registry.gauge(
+            "repro_package_temperature_celsius", "True RC die temperature."
+        )
+        pkg_power = registry.gauge(
+            "repro_package_est_power_watts",
+            "Counter-estimated package power (§3.1).",
+        )
+        for pkg in range(system.config.machine.n_packages):
+            labels = {"package": str(pkg)}
+            pkg_temp.set_sample(system.true_rc[pkg].temperature_c, labels)
+            pkg_power.set_sample(system._est_pkg_power[pkg], labels)
+
+        registry.gauge(
+            "repro_max_temperature_celsius", "Hottest die temperature seen."
+        ).set_sample(system.max_temp_seen_c)
+        registry.gauge(
+            "repro_estimation_error_ratio",
+            "Mean relative package-power estimation error (§4.2).",
+        ).set_sample(system.estimation_error())
+
+        if self.audit is not None:
+            audited = registry.counter(
+                "repro_audit_records_total", "Audit records by decision site."
+            )
+            for site, count in self.audit.sites_seen().items():
+                audited.set_sample(count, {"site": site})
+            registry.counter(
+                "repro_audit_records_dropped_total",
+                "Audit records dropped by the retention limit.",
+            ).set_sample(self.audit.dropped)
+        return registry
+
+    # -- export conveniences ----------------------------------------------------
+    def prometheus(self) -> str:
+        """Current state in Prometheus text exposition format."""
+        return prometheus_text(self.refresh())
+
+    def metrics_snapshot(self) -> dict:
+        """Current state as the JSON metrics snapshot."""
+        return json_snapshot(self.refresh())
+
+    def phase_report(self) -> dict | None:
+        """The tick-phase profile, or None when profiling is off."""
+        return self.profile.report() if self.profile is not None else None
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.audit is not None:
+            parts.append(f"audit={len(self.audit)}")
+        if self.registry is not None:
+            parts.append(f"metrics={len(self.registry)}")
+        if self.profile is not None:
+            parts.append(f"profiled_ticks={self.profile.ticks}")
+        return f"Observer({', '.join(parts) or 'disabled'})"

@@ -21,6 +21,7 @@ or, from the command line::
 from repro.perf.harness import (
     BenchScenarioResult,
     format_bench_report,
+    profile_scenario,
     run_benchmarks,
     run_scenario,
     strip_timings,
@@ -39,6 +40,7 @@ __all__ = [
     "PerfScenario",
     "REFERENCE_SCENARIOS",
     "format_bench_report",
+    "profile_scenario",
     "run_benchmarks",
     "run_scenario",
     "scenario_by_name",

@@ -27,7 +27,13 @@ from repro.perf.scenarios import (
 )
 
 #: Schema tag for ``BENCH_perf.json``; bump on layout changes.
-SCHEMA = "repro-perf/1"
+#: v2 added the ``self_profile`` tick-phase breakdown.
+SCHEMA = "repro-perf/2"
+
+#: Simulated duration of the self-profile runs.  Kept short: the
+#: profile is a *breakdown* (phase fractions), not a benchmark, and the
+#: fractions stabilise within seconds of simulated time.
+PROFILE_DURATION_S = 60.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -129,6 +135,44 @@ def run_scenario(
     )
 
 
+def _profiled_phase_report(
+    scenario: PerfScenario, duration_s: float, fast_path: bool
+) -> dict:
+    from repro.obs import ObservabilityConfig
+
+    config, workload = scenario.build()
+    result = run_simulation(
+        config,
+        workload,
+        policy=scenario.policy,
+        duration_s=duration_s,
+        fast_path=fast_path,
+        obs=ObservabilityConfig(audit=False, metrics=False, profiling=True),
+    )
+    return result.observer.phase_report()
+
+
+def profile_scenario(
+    scenario: PerfScenario, duration_s: float | None = None
+) -> dict:
+    """Tick-phase wall-time breakdown for both execution paths.
+
+    This is the ``self_profile`` section of the benchmark payload: it
+    shows *where* wall time goes (execute, thermal, housekeeping, ...)
+    so a perf regression can be localised without re-instrumenting.
+    """
+    duration = min(
+        duration_s if duration_s is not None else scenario.duration_s,
+        PROFILE_DURATION_S,
+    )
+    return {
+        "name": scenario.name,
+        "duration_s": duration,
+        "fast": _profiled_phase_report(scenario, duration, True),
+        "scalar": _profiled_phase_report(scenario, duration, False),
+    }
+
+
 def run_benchmarks(
     scenarios: Iterable[PerfScenario] | None = None,
     duration_s: float | None = None,
@@ -148,9 +192,13 @@ def run_benchmarks(
     headline = next(
         (r for r in results if r.name == HEADLINE_SCENARIO), results[0]
     )
+    headline_scenario = next(
+        (s for s in chosen if s.name == headline.name), chosen[0]
+    )
     return {
         "schema": SCHEMA,
         "all_summaries_identical": all(r.summary_identical for r in results),
+        "self_profile": profile_scenario(headline_scenario, duration_s),
         "headline": {
             "name": headline.name,
             "timing": {
@@ -226,4 +274,19 @@ def format_bench_report(payload: dict) -> str:
         f"{h['timing']['fast_ticks_per_s']:.0f} ticks/s, "
         f"{h['timing']['speedup_vs_scalar']:.2f}x vs scalar"
     )
+    profile = payload.get("self_profile")
+    if profile:
+        lines.append(
+            f"self-profile ({profile['name']}, "
+            f"{profile['duration_s']:g}s simulated):"
+        )
+        for path in ("fast", "scalar"):
+            phases = profile[path]["phases"]
+            ranked = sorted(
+                phases.items(), key=lambda kv: kv[1]["total_s"], reverse=True
+            )
+            parts = ", ".join(
+                f"{name} {entry['fraction']:.0%}" for name, entry in ranked[:4]
+            )
+            lines.append(f"  {path:<6} {parts}")
     return "\n".join(lines)

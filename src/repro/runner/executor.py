@@ -62,9 +62,10 @@ def execute_spec(spec: JobSpec) -> dict:
         data["duration_s"] = spec.duration_s
     if spec.seed is not None:
         data["seed"] = spec.seed
+    obs = bool(data.pop("obs", False))
     scenario = parse_scenario(data)
-    result = scenario.run()
-    return {
+    result = scenario.run(obs=obs)
+    out = {
         "experiment": None,
         "scenario": scenario.workload.name,
         "duration_s": scenario.duration_s,
@@ -72,6 +73,13 @@ def execute_spec(spec: JobSpec) -> dict:
         "scalars": result.scalar_summary(),
         "summary": run_summary(result),
     }
+    if obs:
+        # Per-job metrics ride along in sweep outputs.  The snapshot is
+        # deterministic (mirrored counters and state gauges only — no
+        # wall clocks), so it is safe inside cached results.
+        out["metrics"] = result.metrics_snapshot()
+        out["audit_sites"] = result.audit.sites_seen()
+    return out
 
 
 @dataclass

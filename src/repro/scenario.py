@@ -52,10 +52,10 @@ class Scenario:
     policy: str
     duration_s: float
 
-    def run(self, validate=False) -> SimulationResult:
+    def run(self, validate=False, obs=False) -> SimulationResult:
         return run_simulation(
             self.config, self.workload, policy=self.policy,
-            duration_s=self.duration_s, validate=validate,
+            duration_s=self.duration_s, validate=validate, obs=obs,
         )
 
 

@@ -91,24 +91,33 @@ class Tracer:
     Parameters
     ----------
     sample_interval_s:
-        Minimum spacing between consecutive samples of the same series.
-        ``0`` records every sample offered.
+        Decimation interval: at most one sample of a series is kept per
+        ``[k*interval, (k+1)*interval)`` bucket, so a sample offered at
+        any time — including just after ``t=0`` — is never dropped for
+        being "too early".  ``0`` records every sample offered.
     """
 
     def __init__(self, sample_interval_s: float = 0.5) -> None:
-        self.sample_interval_s = float(sample_interval_s)
+        interval = float(sample_interval_s)
+        if not interval >= 0.0:  # also rejects NaN
+            raise ValueError(
+                f"sample_interval_s must be >= 0, got {sample_interval_s!r}"
+            )
+        self.sample_interval_s = interval
         self.series: dict[str, TimeSeries] = {}
         self.events: list[EventRecord] = []
         self.counters = CounterSet()
-        self._last_sample: dict[str, float] = {}
+        self._last_bucket: dict[str, int] = {}
 
     # -- series -----------------------------------------------------------
     def sample(self, name: str, t_s: float, value: float) -> None:
         """Record ``value`` for series ``name`` subject to decimation."""
-        last = self._last_sample.get(name)
-        if last is not None and (t_s - last) < self.sample_interval_s:
-            return
-        self._last_sample[name] = t_s
+        interval = self.sample_interval_s
+        if interval > 0.0:
+            bucket = int(t_s // interval)
+            if self._last_bucket.get(name) == bucket:
+                return
+            self._last_bucket[name] = bucket
         series = self.series.get(name)
         if series is None:
             series = TimeSeries(name)

@@ -22,6 +22,7 @@ kernel integration:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -80,6 +81,7 @@ class System:
         tracer: Tracer | None = None,
         fast_path: bool = True,
         validate=False,
+        obs=False,
     ) -> None:
         policy = Policy.coerce(policy)
         if policy is Policy.BASELINE and policy_config is not None:
@@ -270,6 +272,22 @@ class System:
             vconfig = validate if isinstance(validate, ValidationConfig) else None
             self.validator = InvariantChecker(self, vconfig)
 
+        # -- optional observability ----------------------------------------------
+        # Same opt-in pattern as the validator: ``None`` unless the run
+        # asked for it, one attribute test per hook site when disabled,
+        # lazy import to keep repro.obs off the hot import path.
+        self.observer = None
+        if obs:
+            from repro.obs.observer import ObservabilityConfig, Observer
+
+            oconfig = ObservabilityConfig.coerce(obs)
+            if oconfig is not None:
+                self.observer = Observer(self, oconfig)
+                if self.observer.profile is not None:
+                    # Shadow the bound method with the timed variant so
+                    # the normal tick loop carries no profiling branch.
+                    self.tick = self._tick_profiled
+
         # Tick periods.
         tick = config.tick_ms
         self._timeslice_ticks = max(1, config.timeslice_ms // tick)
@@ -297,10 +315,64 @@ class System:
             self._thermal_step(clock)
         self._throttle_step(clock)
         self._housekeeping(clock)
-        if clock.ticks % self._sample_every == 0:
+        # The first tick samples too, so every series starts near t=0
+        # instead of one interval in.
+        if clock.ticks == 1 or clock.ticks % self._sample_every == 0:
             self._sample_traces(clock)
         if self.validator is not None:
             self.validator.after_tick(clock)
+
+    def _tick_profiled(self, clock: Clock) -> None:
+        """The tick loop with per-phase wall timers.
+
+        Installed over :meth:`tick` when the run's
+        :class:`~repro.obs.observer.ObservabilityConfig` enables
+        profiling.  Calls the same phase methods in the same order —
+        both the fast and the scalar execution path go through here —
+        so results are unchanged; only wall time is observed.
+        """
+        prof = self.observer.profile
+        now = perf_counter
+        now_ms = clock.now_ms
+        self._now_ms = now_ms
+        t0 = now()
+        if self._has_power_caps and len(self.containers):
+            self.containers.refill_all(clock.tick_s)
+        self._wake_due(now_ms)
+        self._fork_due(now_ms)
+        t1 = now()
+        prof.add("wake_fork", t1 - t0)
+        self._dispatch()
+        t2 = now()
+        prof.add("dispatch", t2 - t1)
+        if self.fast_path:
+            self._execute_fast(clock)
+            t3 = now()
+            prof.add("execute", t3 - t2)
+            self._thermal_step_fast(clock)
+        else:
+            self._execute(clock)
+            t3 = now()
+            prof.add("execute", t3 - t2)
+            self._thermal_step(clock)
+        t4 = now()
+        prof.add("thermal", t4 - t3)
+        self._throttle_step(clock)
+        t5 = now()
+        prof.add("throttle", t5 - t4)
+        self._housekeeping(clock)
+        t6 = now()
+        prof.add("housekeeping", t6 - t5)
+        if clock.ticks == 1 or clock.ticks % self._sample_every == 0:
+            self._sample_traces(clock)
+            t7 = now()
+            prof.add("sample", t7 - t6)
+        else:
+            t7 = t6
+        if self.validator is not None:
+            self.validator.after_tick(clock)
+            prof.add("validate", now() - t7)
+        prof.tick_done()
 
     # -- wakeups and forks ------------------------------------------------------
     def _wake_due(self, now_ms: int) -> None:
@@ -892,13 +964,20 @@ class System:
     # -- periodic policy work -----------------------------------------------------
     def _housekeeping(self, clock: Clock) -> None:
         ticks = clock.ticks
+        observer = self.observer
+        hist = observer.balance_hist if observer is not None else None
         for c in range(self.n_cpus):
             rq = self.runqueues[c]
             phase = ticks + c * 3
-            if phase % self._balance_ticks == 0:
-                self.policy.periodic_balance(c)
-            elif not rq.nr and (ticks + c) % self._idle_balance_ticks == 0:
-                self.policy.periodic_balance(c)
+            if phase % self._balance_ticks == 0 or (
+                not rq.nr and (ticks + c) % self._idle_balance_ticks == 0
+            ):
+                if hist is None:
+                    self.policy.periodic_balance(c)
+                else:
+                    t0 = perf_counter()
+                    self.policy.periodic_balance(c)
+                    hist.observe(perf_counter() - t0)
             if (ticks + c) % self._hot_check_ticks == 0:
                 self.policy.check_active_migration(c)
 
@@ -941,6 +1020,18 @@ class System:
                 detail={"src": src, "dst": dst, "reason": reason},
             )
         )
+        observer = self.observer
+        if observer is not None and observer.audit is not None:
+            # Exactly one outcome record per committed migration; the
+            # decision sites record the comparisons that led here.
+            observer.audit.record(
+                site="migration",
+                cpu=src,
+                pid=task.pid,
+                chosen=dst,
+                accepted=True,
+                detail={"dst": dst, "reason": reason, "src": src},
+            )
 
     # -- tracing -----------------------------------------------------------------
     def _sample_traces(self, clock: Clock) -> None:

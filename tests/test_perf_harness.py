@@ -112,7 +112,7 @@ class TestBenchPayloadDeterminism:
 
     def test_payload_shape(self, payloads):
         payload = payloads[0]
-        assert payload["schema"] == "repro-perf/1"
+        assert payload["schema"] == "repro-perf/2"
         assert payload["headline"]["name"] == HEADLINE_SCENARIO
         timing = payload["headline"]["timing"]
         assert set(timing) == {"fast_ticks_per_s", "scalar_ticks_per_s",
@@ -120,6 +120,60 @@ class TestBenchPayloadDeterminism:
         (scenario,) = payload["scenarios"]
         assert scenario["ticks"] == 200  # 2 s at the 10 ms default tick
         assert set(scenario["scalar_summary"])  # non-empty summary
+
+    def test_self_profile_shape(self, payloads):
+        profile = payloads[0]["self_profile"]
+        assert profile["name"] == HEADLINE_SCENARIO
+        assert profile["duration_s"] == 2.0
+        for path in ("fast", "scalar"):
+            report = profile[path]
+            assert report["ticks"] == 200
+            assert report["timed_total_s"] > 0.0
+            assert "execute" in report["phases"]
+            for entry in report["phases"].values():
+                assert set(entry) == {"total_s", "calls", "mean_us",
+                                      "fraction"}
+
+    def test_strip_timings_excludes_self_profile(self, payloads):
+        # The phase breakdown is wall-clock data; it must never leak
+        # into the deterministic subset.
+        assert "self_profile" not in strip_timings(payloads[0])
+
+
+class TestObsNeutrality:
+    """Observability must never perturb the simulation (satellite d).
+
+    A run with ``obs=False`` must be byte-identical in summary to a run
+    that never mentions the kwarg, and enabling the full observer —
+    audit, metrics, even profiling — must not change a single bit of
+    the physics on either execution path.
+    """
+
+    NAMES = [s.name for s in REFERENCE_SCENARIOS]
+
+    @staticmethod
+    def _summary(name, **kwargs):
+        scenario = scenario_by_name(name)
+        config, workload = scenario.build()
+        result = run_simulation(config, workload, policy=scenario.policy,
+                                duration_s=2.0, **kwargs)
+        return _encode(result.scalar_summary())
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_obs_disabled_matches_no_kwarg(self, name):
+        assert self._summary(name) == self._summary(name, obs=False)
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_obs_enabled_matches_plain(self, name):
+        assert self._summary(name) == self._summary(name, obs=True)
+
+    def test_fast_scalar_identity_holds_with_obs_enabled(self):
+        from repro import ObservabilityConfig
+
+        obs = ObservabilityConfig(profiling=True)
+        fast = self._summary(HEADLINE_SCENARIO, fast_path=True, obs=obs)
+        scalar = self._summary(HEADLINE_SCENARIO, fast_path=False, obs=obs)
+        assert fast == scalar
 
 
 class TestScenarioRegistry:

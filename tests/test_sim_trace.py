@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.sim.events import EventKind, EventRecord
+from repro.sim.events import EVENT_SCHEMA, EventKind, EventRecord
 from repro.sim.trace import CounterSet, TimeSeries, Tracer
 
 
@@ -91,6 +91,91 @@ class TestTracerSeries:
             "thermal.cpu01",
             "thermal.cpu02",
         ]
+
+
+class TestEventRecordSerialization:
+    """Satellite (a): versioned, key-stable event serialization."""
+
+    def test_to_dict_round_trips(self):
+        record = EventRecord(1500, EventKind.MIGRATION, cpu=3, pid=42,
+                             detail={"src": 1, "reason": "hot_task"})
+        clone = EventRecord.from_dict(record.to_dict())
+        assert clone == record
+
+    def test_to_dict_shape_and_schema(self):
+        d = EventRecord(250, EventKind.TASK_START, cpu=0, pid=7).to_dict()
+        assert d == {
+            "schema": EVENT_SCHEMA,
+            "time_ms": 250,
+            "kind": "task_start",
+            "cpu": 0,
+            "pid": 7,
+            "detail": {},
+        }
+
+    def test_detail_keys_are_sorted(self):
+        record = EventRecord(
+            0, EventKind.MIGRATION, cpu=1, pid=2,
+            detail={"z": 1, "a": 2, "m": 3},
+        )
+        assert list(record.to_dict()["detail"]) == ["a", "m", "z"]
+
+    def test_from_dict_rejects_unknown_schema(self):
+        d = EventRecord(0, EventKind.TASK_EXIT, cpu=0, pid=1).to_dict()
+        d["schema"] = EVENT_SCHEMA + 1
+        with pytest.raises(ValueError, match="schema"):
+            EventRecord.from_dict(d)
+
+    def test_from_dict_defaults(self):
+        # Older producers may omit schema/cpu/pid; those default rather
+        # than KeyError.
+        record = EventRecord.from_dict(
+            {"time_ms": 10, "kind": "throttle_on"}
+        )
+        assert record.kind is EventKind.THROTTLE_ON
+        assert record.cpu == -1 and record.pid == -1
+        assert record.detail == {}
+
+
+class TestTracerDecimationBoundaries:
+    """Satellite (b): interval edge cases must not lose samples."""
+
+    def test_zero_interval_no_zero_division(self):
+        tracer = Tracer(sample_interval_s=0.0)
+        tracer.sample("x", 0.0, 1.0)  # would divide by zero pre-fix
+        tracer.sample("x", 0.0, 2.0)
+        assert len(tracer.get_series("x")) == 2
+
+    def test_first_sample_near_t0_is_kept(self):
+        # The first tick lands at one tick past zero; the old
+        # "last-sample at 0" initialisation silently swallowed it.
+        tracer = Tracer(sample_interval_s=1.0)
+        tracer.sample("x", 0.01, 5.0)
+        assert tracer.get_series("x").last() == 5.0
+
+    def test_one_sample_per_bucket(self):
+        tracer = Tracer(sample_interval_s=1.0)
+        for t in (0.01, 0.5, 0.99, 1.0, 1.7, 2.0):
+            tracer.sample("x", t, t)
+        # Buckets [0,1), [1,2), [2,3) keep their first sample each.
+        np.testing.assert_allclose(
+            tracer.get_series("x").times, [0.01, 1.0, 2.0]
+        )
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError, match="sample_interval_s"):
+            Tracer(sample_interval_s=-1.0)
+
+    def test_nan_interval_rejected(self):
+        with pytest.raises(ValueError, match="sample_interval_s"):
+            Tracer(sample_interval_s=float("nan"))
+
+    def test_buckets_are_independent_per_series(self):
+        tracer = Tracer(sample_interval_s=1.0)
+        tracer.sample("a", 0.2, 1.0)
+        tracer.sample("b", 0.4, 2.0)  # same bucket, different series
+        assert len(tracer.get_series("a")) == 1
+        assert len(tracer.get_series("b")) == 1
 
 
 class TestMigrationReasons:

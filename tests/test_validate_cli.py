@@ -73,7 +73,10 @@ class TestValidateCommand:
         code = main(["validate", "--scenario", FAST_SCENARIO,
                      "--duration", "1", "--skip-faults", "--json"])
         assert code == 0
-        payload = json.loads(capsys.readouterr().out)
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["schema"] == 1  # the CLI report envelope
+        assert envelope["generated_by"].startswith("repro ")
+        payload = envelope["payload"]
         assert payload["schema"] == SCHEMA
         assert payload["ok"] is True
         assert payload["fault_plans"] == []

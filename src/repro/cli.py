@@ -92,6 +92,17 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
                         help="per-job wall-clock timeout (parallel runs only)")
     parser.add_argument("--retries", type=int, default=1, metavar="N",
                         help="re-submissions after a job fails (default: 1)")
+    parser.add_argument("--journal", nargs="?", const="auto", default=None,
+                        metavar="PATH",
+                        help="append every job start/finish to a crash-safe "
+                             "journal so the sweep can be finished with "
+                             "--resume after a crash or interrupt (PATH "
+                             "omitted: <cache dir>/journals/<grid>.jsonl)")
+    parser.add_argument("--resume", default=None, metavar="JOURNAL",
+                        help="resume an interrupted sweep from its journal: "
+                             "completed jobs are served from the journal "
+                             "with zero recomputation, in-flight and failed "
+                             "ones re-run")
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON instead of tables")
 
@@ -123,6 +134,27 @@ def build_parser() -> argparse.ArgumentParser:
     run_file.add_argument("--validate", action="store_true",
                           help="run with the invariant checker enabled; "
                                "violations go to stderr and exit non-zero")
+    run_file.add_argument("--checkpoint", default=None, metavar="PATH",
+                          help="periodically write a resumable checkpoint "
+                               "of the simulation to PATH (finish a killed "
+                               "run with 'repro resume PATH')")
+    run_file.add_argument("--checkpoint-every", type=_positive_duration,
+                          default=60.0, metavar="SECONDS",
+                          help="simulated seconds between checkpoints "
+                               "(default: 60)")
+
+    resume = sub.add_parser(
+        "resume",
+        help="finish a checkpointed simulation (see run-file --checkpoint)",
+    )
+    resume.add_argument("checkpoint", help="checkpoint file to load")
+    resume.add_argument("--duration", type=_positive_duration, default=None,
+                        metavar="SECONDS",
+                        help="total planned duration (default: recorded in "
+                             "the checkpoint)")
+    resume.add_argument("--allow-stale", action="store_true",
+                        help="load a checkpoint written by a different code "
+                             "version (normally refused)")
 
     reproduce = sub.add_parser(
         "reproduce", help="run every experiment (quick-look durations)"
@@ -136,7 +168,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="replicate one experiment over a seed set, in parallel, "
              "with result caching",
     )
-    sweep.add_argument("experiment", help="experiment name (see 'list')")
+    sweep.add_argument("experiment", nargs="?", default=None,
+                       help="experiment name (see 'list'); optional with "
+                            "--resume, which rebuilds the grid from the "
+                            "journal")
     sweep.add_argument("--seeds", default="1..5", metavar="SET",
                        help="seed set: '1..10', '1,3,5', or one integer "
                             "(default: 1..5)")
@@ -149,7 +184,9 @@ def build_parser() -> argparse.ArgumentParser:
     batch = sub.add_parser(
         "batch", help="run a JSON grid of experiments/scenarios × seeds"
     )
-    batch.add_argument("path", help="grid JSON file (see repro.runner.grid)")
+    batch.add_argument("path", nargs="?", default=None,
+                       help="grid JSON file (see repro.runner.grid); "
+                            "optional with --resume")
     _add_runner_options(batch)
 
     perf = sub.add_parser(
@@ -279,8 +316,55 @@ def _make_cache(args):
     return ResultCache(root=args.cache_dir or default_cache_dir())
 
 
-def _run_jobs(parser, args, specs):
-    """Shared sweep/batch execution; prints progress+cache info to stderr."""
+def _journal_path(args, specs, command: str):
+    """Where this grid's journal lives: --resume/--journal PATH, or a
+    content-addressed default under the cache directory."""
+    import hashlib
+    import pathlib
+
+    if args.resume is not None:
+        return pathlib.Path(args.resume)
+    if args.journal is None:
+        return None
+    if args.journal != "auto":
+        return pathlib.Path(args.journal)
+    from repro.runner import default_cache_dir
+
+    root = pathlib.Path(args.cache_dir or default_cache_dir())
+    digest = hashlib.sha256(
+        "\n".join(spec.content_hash() for spec in specs).encode()
+    ).hexdigest()[:16]
+    return root / "journals" / f"{command}-{digest}.jsonl"
+
+
+def _resume_specs(parser, args, command: str):
+    """The spec list recorded in ``--resume``'s journal meta record."""
+    from repro.resilience import replay_journal
+
+    replay = replay_journal(args.resume)
+    try:
+        specs = replay.specs()
+    except ValueError as exc:
+        parser.error(f"cannot resume from {args.resume!r}: {exc}")
+    meta = replay.meta or {}
+    if meta.get("command") not in (None, command):
+        parser.error(
+            f"{args.resume!r} journals a {meta.get('command')!r} run; "
+            f"resume it with 'repro {meta.get('command')} --resume'"
+        )
+    return specs, meta.get("args") or {}
+
+
+def _run_jobs(parser, args, specs, command="sweep", command_args=None):
+    """Shared sweep/batch execution; prints progress+cache info to stderr.
+
+    Opens the journal when journaling is on, wires SIGINT/SIGTERM to a
+    graceful drain, and prints the resume command when the sweep stops
+    early.
+    """
+    import signal
+    import threading
+
     from repro.runner import run_grid
 
     if args.workers < 1:
@@ -290,25 +374,76 @@ def _run_jobs(parser, args, specs):
     cache = _make_cache(args)
 
     def progress(outcome, i, total):
-        status = ("cached" if outcome.cached
-                  else "ok" if outcome.ok else "FAILED")
+        if outcome.quarantined:
+            status = "QUARANTINED"
+        elif not outcome.ok:
+            status = "FAILED"
+        elif outcome.resumed:
+            status = "resumed"
+        elif outcome.cached:
+            status = "cached"
+        else:
+            status = "ok"
         line = f"  [{i + 1}/{total}] {outcome.spec.label:<32} {status}"
-        if not outcome.cached:
+        if not outcome.cached and outcome.ok:
             line += f"  {outcome.elapsed_s:.2f}s"
         print(line, file=sys.stderr)
 
-    report = run_grid(
-        specs, workers=args.workers, cache=cache, timeout_s=args.timeout,
-        retries=args.retries, progress=progress,
-    )
+    journal = None
+    journal_path = _journal_path(args, specs, command)
+    if journal_path is not None:
+        from repro.resilience import SweepJournal
+
+        journal = SweepJournal(
+            journal_path, specs, command=command,
+            command_args=command_args or {},
+        )
+
+    stop_event = threading.Event()
+
+    def _on_signal(signum, frame):
+        if stop_event.is_set():
+            raise KeyboardInterrupt
+        stop_event.set()
+        print("\ninterrupt received — draining running jobs and flushing "
+              "the journal (interrupt again to abort hard)", file=sys.stderr)
+
+    previous_handlers = {}
+    try:
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            previous_handlers[sig] = signal.signal(sig, _on_signal)
+    except ValueError:  # not the main thread (e.g. embedded use)
+        pass
+    try:
+        report = run_grid(
+            specs, workers=args.workers, cache=cache,
+            timeout_s=args.timeout, retries=args.retries,
+            progress=progress, journal=journal, stop_event=stop_event,
+        )
+    finally:
+        for sig, handler in previous_handlers.items():
+            signal.signal(sig, handler)
+        if journal is not None:
+            journal.close()
     if report.cache_stats is not None:
         print(f"cache: {report.cache_stats.describe()} "
               f"(dir: {cache.root})", file=sys.stderr)
+    if report.exec_stats is not None:
+        incidents = report.exec_stats.describe()
+        if incidents != "no incidents":
+            print(f"incidents: {incidents}", file=sys.stderr)
     print(f"wall clock: {report.wall_s:.1f}s at --workers {args.workers}",
           file=sys.stderr)
     for outcome in report.failures:
         print(f"error: {outcome.spec.label}: {outcome.error} "
               f"({outcome.attempts} attempts)", file=sys.stderr)
+    if report.interrupted:
+        if journal_path is not None:
+            print(f"interrupted — finish with: python -m repro {command} "
+                  f"--resume {journal_path}", file=sys.stderr)
+        else:
+            print("interrupted — no journal was kept (use --journal to "
+                  "make sweeps resumable)", file=sys.stderr)
     return report
 
 
@@ -325,13 +460,25 @@ def _cmd_sweep(parser, args) -> int:
     from repro.analysis.stats import summarize_scalars
     from repro.runner import sweep_specs
 
-    experiment = _resolve_experiment(parser, args.experiment)
-    try:
-        specs = sweep_specs(experiment, seeds=args.seeds,
-                            duration_s=args.duration)
-    except ValueError as exc:
-        parser.error(str(exc))
-    report = _run_jobs(parser, args, specs)
+    if args.resume is not None:
+        specs, meta_args = _resume_specs(parser, args, "sweep")
+        experiment = (args.experiment or meta_args.get("experiment")
+                      or (specs[0].experiment if specs else "sweep"))
+    else:
+        if args.experiment is None:
+            parser.error("an experiment name is required (or --resume)")
+        experiment = _resolve_experiment(parser, args.experiment)
+        try:
+            specs = sweep_specs(experiment, seeds=args.seeds,
+                                duration_s=args.duration)
+        except ValueError as exc:
+            parser.error(str(exc))
+    command_args = {"experiment": experiment, "seeds": args.seeds,
+                    "duration": args.duration}
+    report = _run_jobs(parser, args, specs, command="sweep",
+                       command_args=command_args)
+    if report.interrupted:
+        return 130
     samples = report.scalar_samples()
     if not samples:
         return 1
@@ -363,12 +510,38 @@ def _cmd_batch(parser, args) -> int:
     from repro.analysis.stats import summarize_scalars
     from repro.runner import load_grid
 
-    try:
-        entries = load_grid(args.path)
-    except (OSError, ValueError) as exc:
-        parser.error(f"cannot load grid {args.path!r}: {exc}")
-    flat = [spec for entry in entries for spec in entry.specs]
-    report = _run_jobs(parser, args, flat)
+    if args.resume is not None:
+        flat, meta_args = _resume_specs(parser, args, "batch")
+        grid_path = args.path or meta_args.get("path")
+        entries = None
+        if grid_path is not None:
+            try:
+                entries = load_grid(grid_path)
+            except (OSError, ValueError):
+                entries = None  # journal specs still carry the grid
+        if entries is not None:
+            from_grid = [s for e in entries for s in e.specs]
+            if ([s.content_hash() for s in from_grid]
+                    != [s.content_hash() for s in flat]):
+                entries = None  # grid file changed since the journal
+        if entries is None:
+            from repro.runner.grid import GridEntry
+
+            entries = [GridEntry(label="resumed batch", specs=tuple(flat))]
+        command_args = {"path": grid_path}
+    else:
+        if args.path is None:
+            parser.error("a grid JSON file is required (or --resume)")
+        try:
+            entries = load_grid(args.path)
+        except (OSError, ValueError) as exc:
+            parser.error(f"cannot load grid {args.path!r}: {exc}")
+        flat = [spec for entry in entries for spec in entry.specs]
+        command_args = {"path": str(args.path)}
+    report = _run_jobs(parser, args, flat, command="batch",
+                       command_args=command_args)
+    if report.interrupted:
+        return 130
 
     groups = []
     cursor = 0
@@ -621,7 +794,23 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.export import run_summary_json
         from repro.scenario import load_scenario
 
-        result = load_scenario(args.path).run(validate=args.validate)
+        scenario = load_scenario(args.path)
+        if args.checkpoint is not None:
+            from repro.resilience import run_simulation_checkpointed
+
+            def on_checkpoint(path, ticks):
+                print(f"checkpoint: {path} at tick {ticks}",
+                      file=sys.stderr)
+
+            result = run_simulation_checkpointed(
+                scenario.config, scenario.workload,
+                checkpoint_path=args.checkpoint, policy=scenario.policy,
+                duration_s=scenario.duration_s,
+                checkpoint_every_s=args.checkpoint_every,
+                validate=args.validate, on_checkpoint=on_checkpoint,
+            )
+        else:
+            result = scenario.run(validate=args.validate)
         print(run_summary_json(result))
         violations = result.violations
         if violations:
@@ -636,6 +825,20 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments import run_all
 
         print(run_all(duration_s=args.duration))
+        return 0
+    if args.command == "resume":
+        from repro.analysis.export import run_summary_json
+        from repro.resilience import CheckpointError, resume_simulation
+
+        try:
+            result = resume_simulation(
+                args.checkpoint, duration_s=args.duration,
+                allow_stale=args.allow_stale,
+            )
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(run_summary_json(result))
         return 0
     if args.command == "sweep":
         return _cmd_sweep(parser, args)

@@ -18,6 +18,7 @@ from repro.obs.exporters import (
     PROMETHEUS_CONTENT_TYPE,
     json_snapshot,
     prometheus_text,
+    runner_metrics_registry,
 )
 from repro.obs.metrics import (
     Counter,
@@ -41,6 +42,7 @@ __all__ = [
     "PROMETHEUS_CONTENT_TYPE",
     "json_snapshot",
     "prometheus_text",
+    "runner_metrics_registry",
     "Counter",
     "Gauge",
     "Histogram",

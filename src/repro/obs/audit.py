@@ -132,6 +132,24 @@ class AuditLog:
     def __len__(self) -> int:
         return len(self.records)
 
+    # -- pickling ---------------------------------------------------------
+    # The clock callable is a closure over the owning system and cannot
+    # be pickled; checkpointing drops it and the restoring system
+    # re-installs its own (see System.__setstate__).  An AuditLog
+    # unpickled standalone keeps its records and queries but cannot
+    # record until rearm() is called.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_now_ms"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    def rearm(self, now_ms: Callable[[], int]) -> None:
+        """Re-install the clock callable after unpickling."""
+        self._now_ms = now_ms
+
     # -- emission ---------------------------------------------------------
     def record(
         self,

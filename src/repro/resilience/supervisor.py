@@ -1,0 +1,463 @@
+"""The supervised worker pool behind :func:`repro.runner.run_grid`.
+
+The plain ``ProcessPoolExecutor`` fails badly under real faults: one
+dead worker breaks the whole pool and every in-flight job with it, a
+timed-out job's slot is abandoned forever, and a poison job (one that
+kills its worker deterministically) would break the pool on every
+retry.  :class:`SupervisedPool` wraps the executor with the recovery
+policies a long sweep needs:
+
+* **Pool rebuild** — after a worker death or a timeout the pool is torn
+  down and rebuilt at full width, so effective parallelism never
+  shrinks permanently.
+* **Blame and quarantine** — when a pool breaks with several jobs in
+  flight, the dead worker's job cannot be told apart from its victims;
+  every suspect gets one *kill strike* and is re-run **solo** (one at a
+  time, nothing else in flight), which makes the next crash definitive.
+  A job that reaches ``max_worker_kills`` strikes (default 2) is
+  quarantined: its spec is serialized for offline reproduction and it
+  is never retried.  Innocent victims are exonerated by their solo run
+  succeeding.
+* **Deadline watchdog** — jobs exceeding ``timeout_s`` fail permanently
+  (a job that blew its budget once will blow it again); the workers
+  running them are terminated with the pool rebuild, and innocent
+  in-flight jobs are re-queued without a strike.
+* **Heartbeat** — the loop polls worker liveness, so a worker that dies
+  while idle is replaced before the next submission trips over the
+  broken pool.
+* **Deterministic backoff** — transient failures retry after
+  :func:`backoff_delay_s`, a capped exponential whose jitter is seeded
+  from the spec digest: reproducible across runs, decorrelated across
+  specs.
+* **Graceful drain** — when the caller's ``stop_event`` is set (the CLI
+  wires SIGINT/SIGTERM to it), already-finished futures are harvested,
+  everything else is cancelled, and the loop returns so the journal can
+  be flushed and a resume command printed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import random
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.runner.spec import JobSpec
+
+#: Serialized quarantined-spec format; bump on layout changes.
+QUARANTINE_SCHEMA = "repro-quarantine/1"
+
+
+@dataclass
+class ExecutorStats:
+    """Supervision counters for one :func:`run_grid` call."""
+
+    retries: int = 0
+    worker_crashes: int = 0
+    pool_rebuilds: int = 0
+    timeouts: int = 0
+    quarantined: int = 0
+    interrupted: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "retries": self.retries,
+            "worker_crashes": self.worker_crashes,
+            "pool_rebuilds": self.pool_rebuilds,
+            "timeouts": self.timeouts,
+            "quarantined": self.quarantined,
+            "interrupted": self.interrupted,
+        }
+
+    def describe(self) -> str:
+        parts = []
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.worker_crashes:
+            parts.append(f"{self.worker_crashes} worker crashes")
+        if self.pool_rebuilds:
+            parts.append(f"{self.pool_rebuilds} pool rebuilds")
+        if self.timeouts:
+            parts.append(f"{self.timeouts} timeouts")
+        if self.quarantined:
+            parts.append(f"{self.quarantined} quarantined")
+        return ", ".join(parts) if parts else "no incidents"
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Tunables of the supervised pool.
+
+    The backoff defaults keep retry latency negligible against
+    simulation runtimes while still decorrelating retry storms; tests
+    shrink them to keep failure-path suites fast.
+    """
+
+    timeout_s: float | None = None
+    retries: int = 1
+    max_worker_kills: int = 2
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    poll_s: float = 0.05
+    quarantine_dir: pathlib.Path | None = None
+
+
+def backoff_delay_s(
+    spec: JobSpec, attempt: int, base_s: float = 0.05, cap_s: float = 2.0
+) -> float:
+    """Deterministic capped exponential backoff with jitter.
+
+    ``min(cap, base * 2**(attempt-1) * jitter)`` with jitter drawn
+    uniformly from [0.5, 1.5) by a generator seeded from the spec's
+    content hash and the attempt number — the same spec failing the
+    same way waits exactly as long in every run, while different specs
+    spread out instead of retrying in lockstep.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    jitter = 0.5 + random.Random(f"{spec.content_hash()}:{attempt}").random()
+    return min(cap_s, base_s * (2 ** (attempt - 1)) * jitter)
+
+
+def quarantine_spec(
+    directory: str | pathlib.Path, spec: JobSpec, kills: int, error: str
+) -> pathlib.Path:
+    """Serialize a poison job's spec for offline reproduction.
+
+    Written atomically as ``<hash>.spec.json`` so a quarantined job can
+    be re-run by hand (``python -m repro`` on the recorded spec) without
+    digging through the journal.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{spec.content_hash()}.spec.json"
+    payload = {
+        "schema": QUARANTINE_SCHEMA,
+        "spec": spec.to_dict(),
+        "worker_kills": kills,
+        "error": error,
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    os.replace(tmp, path)
+    return path
+
+
+#: record(index, result, error, attempts, elapsed_s, quarantined)
+RecordFn = Callable[[int, dict | None, str | None, int, float, bool], None]
+
+
+class SupervisedPool:
+    """One supervised parallel execution of a set of grid indices.
+
+    The caller owns outcome bookkeeping: the pool reports every
+    terminal event through ``record`` and every (re)submission through
+    ``on_start`` — :func:`repro.runner.run_grid` maps those onto
+    ``JobOutcome`` rows and journal appends.  Indices left unrecorded
+    when :meth:`run` returns were never completed (pool unavailable or
+    drain requested); the caller decides between serial fallback and
+    reporting an interrupted sweep.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[JobSpec],
+        indices: Sequence[int],
+        workers: int,
+        run_fn: Callable[[JobSpec], dict],
+        config: SupervisorConfig,
+        stats: ExecutorStats,
+        record: RecordFn,
+        on_start: Callable[[int], None] | None = None,
+        stop_event=None,
+    ) -> None:
+        self.specs = specs
+        self.config = config
+        self.stats = stats
+        self.run_fn = run_fn
+        self.record = record
+        self.on_start = on_start
+        self.stop_event = stop_event
+        self._max_workers = max(1, min(workers, len(indices)))
+        self.pending: deque[int] = deque(indices)
+        self.solo: deque[int] = deque()
+        self.delayed: list[tuple[float, int]] = []
+        self.running: dict = {}  # future -> (index, start time)
+        self.submissions: dict[int, int] = dict.fromkeys(indices, 0)
+        self.failures: dict[int, int] = dict.fromkeys(indices, 0)
+        self.kills: dict[int, int] = dict.fromkeys(indices, 0)
+        self.recorded: set[int] = set()
+        self._pool = None
+        self._submit_failures = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    def run(self) -> None:
+        from concurrent.futures import FIRST_COMPLETED, wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        if not self._build_pool(count=False):
+            return  # no multiprocessing here; caller falls back to serial
+        try:
+            while self.pending or self.solo or self.delayed or self.running:
+                if self.stop_event is not None and self.stop_event.is_set():
+                    self._drain()
+                    return
+                self._promote_delayed()
+                self._check_idle_liveness()
+                self._fill_slots()
+                if not self.running:
+                    if self.delayed:
+                        # Everything runnable is backing off; sleep until
+                        # the nearest retry comes due.
+                        due = min(t for t, _ in self.delayed)
+                        time.sleep(
+                            max(0.0, min(self.config.poll_s, due - time.monotonic()))
+                        )
+                    elif (self.pending or self.solo) and self._pool is None:
+                        return  # pool gone for good → serial fallback
+                    continue
+                done, _ = wait(
+                    set(self.running),
+                    timeout=self.config.poll_s,
+                    return_when=FIRST_COMPLETED,
+                )
+                now = time.monotonic()
+                broken = False
+                for future in done:
+                    if future not in self.running:
+                        continue
+                    i, start = self.running.pop(future)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        self._on_pool_break(i, start, now)
+                        broken = True
+                        break
+                    except Exception as exc:
+                        self._on_exception(i, exc, now - start)
+                    else:
+                        self._record_success(i, result, now - start)
+                if not broken:
+                    self._check_timeouts(now)
+        finally:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+
+    def _build_pool(self, count: bool = True) -> bool:
+        from concurrent.futures import ProcessPoolExecutor
+
+        if count:
+            self.stats.pool_rebuilds += 1
+        try:
+            self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
+        except (OSError, ValueError):
+            self._pool = None
+            return False
+        return True
+
+    def _rebuild_pool(self, kill_workers: bool = False) -> None:
+        pool = self._pool
+        if pool is not None:
+            if kill_workers:
+                # A worker stuck past its deadline cannot be interrupted
+                # politely; terminate the whole crew with the rebuild.
+                # _processes is a CPython implementation detail, hence
+                # the guard — without it the old workers drain in the
+                # background, which is still correct, just wasteful.
+                for proc in list(getattr(pool, "_processes", {}).values()):
+                    proc.terminate()
+            pool.shutdown(wait=False, cancel_futures=True)
+        self._build_pool()
+
+    # -- submission --------------------------------------------------------
+    def _fill_slots(self) -> None:
+        from concurrent.futures.process import BrokenProcessPool
+
+        if self.solo:
+            # Suspects run one at a time with nothing else in flight, so
+            # a crash during the run blames them definitively.
+            if not self.running:
+                self._submit(self.solo.popleft(), BrokenProcessPool)
+            return
+        while self.pending and len(self.running) < self._max_workers:
+            if not self._submit(self.pending.popleft(), BrokenProcessPool):
+                break
+
+    def _submit(self, i: int, broken_exc) -> bool:
+        if self._pool is None:
+            self.pending.appendleft(i)
+            return False
+        try:
+            future = self._pool.submit(self.run_fn, self.specs[i])
+        except broken_exc:
+            # A worker died while idle and the pool noticed at submit
+            # time; rebuild and re-queue.  Repeated failures without a
+            # single successful submission mean workers die at startup
+            # (environment trouble, not a poison job) — give up on the
+            # pool and let the caller fall back to serial.
+            self.stats.worker_crashes += 1
+            self._submit_failures += 1
+            if self._submit_failures > 3:
+                if self._pool is not None:
+                    self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+            else:
+                self._rebuild_pool()
+            self.pending.appendleft(i)
+            return False
+        except RuntimeError:
+            self._pool = None
+            self.pending.appendleft(i)
+            return False
+        self._submit_failures = 0
+        self.submissions[i] += 1
+        if self.on_start is not None:
+            self.on_start(i)
+        self.running[future] = (i, time.monotonic())
+        return True
+
+    def _promote_delayed(self) -> None:
+        if not self.delayed:
+            return
+        now = time.monotonic()
+        due = sorted(i for t, i in self.delayed if t <= now)
+        if due:
+            self.delayed = [(t, i) for t, i in self.delayed if t > now]
+            self.pending.extend(due)
+
+    # -- supervision -------------------------------------------------------
+    def _check_idle_liveness(self) -> None:
+        """Heartbeat: replace dead-while-idle workers proactively.
+
+        With futures in flight a worker death surfaces through them;
+        this catches the window where the pool sits idle between
+        submissions with a corpse in the crew.
+        """
+        if self.running or self._pool is None:
+            return
+        procs = getattr(self._pool, "_processes", None)
+        if procs and any(p.exitcode is not None for p in list(procs.values())):
+            self.stats.worker_crashes += 1
+            self._rebuild_pool()
+
+    def _on_pool_break(self, primary: int, primary_start: float, now: float) -> None:
+        from concurrent.futures.process import BrokenProcessPool
+
+        self.stats.worker_crashes += 1
+        suspects = [(primary, primary_start)]
+        for future, (i, start) in list(self.running.items()):
+            if future.done() and not future.cancelled():
+                exc = future.exception()
+                if exc is None:
+                    # Finished before the break: real result, keep it.
+                    self._record_success(i, future.result(), now - start)
+                    continue
+                if not isinstance(exc, BrokenProcessPool):
+                    self._on_exception(i, exc, now - start)
+                    continue
+            suspects.append((i, start))
+        self.running.clear()
+        self._rebuild_pool()
+        for i, start in suspects:
+            self.kills[i] += 1
+            if self.kills[i] >= self.config.max_worker_kills:
+                self._quarantine(i, now - start)
+            else:
+                self.solo.append(i)
+
+    def _check_timeouts(self, now: float) -> None:
+        timeout_s = self.config.timeout_s
+        if timeout_s is None or not self.running:
+            return
+        expired = [
+            (future, i, start)
+            for future, (i, start) in self.running.items()
+            if now - start > timeout_s
+        ]
+        if not expired:
+            return
+        for future, i, start in expired:
+            del self.running[future]
+            future.cancel()
+            self.stats.timeouts += 1
+            self._record_failure(
+                i, f"timeout after {timeout_s:g}s", now - start
+            )
+        # Harvest finished bystanders, re-queue the rest without a
+        # strike, and rebuild with the stuck workers terminated so the
+        # sweep keeps its full width.
+        victims = []
+        for future, (i, start) in list(self.running.items()):
+            if (
+                future.done()
+                and not future.cancelled()
+                and future.exception() is None
+            ):
+                self._record_success(i, future.result(), now - start)
+            else:
+                victims.append(i)
+        self.running.clear()
+        self._rebuild_pool(kill_workers=True)
+        for i in reversed(victims):
+            self.pending.appendleft(i)
+
+    def _drain(self) -> None:
+        """Graceful stop: keep finished work, cancel everything else."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        self.stats.interrupted = True
+        now = time.monotonic()
+        for future, (i, start) in list(self.running.items()):
+            if future.done() and not future.cancelled():
+                exc = future.exception()
+                if exc is None:
+                    self._record_success(i, future.result(), now - start)
+                elif not isinstance(exc, BrokenProcessPool):
+                    self._record_failure(i, _describe(exc), now - start)
+        self.running.clear()
+
+    # -- terminal events ---------------------------------------------------
+    def _on_exception(self, i: int, exc: BaseException, elapsed: float) -> None:
+        self.failures[i] += 1
+        if self.failures[i] <= self.config.retries:
+            self.stats.retries += 1
+            delay = backoff_delay_s(
+                self.specs[i],
+                self.failures[i],
+                self.config.backoff_base_s,
+                self.config.backoff_cap_s,
+            )
+            self.delayed.append((time.monotonic() + delay, i))
+        else:
+            self._record_failure(i, _describe(exc), elapsed)
+
+    def _quarantine(self, i: int, elapsed: float) -> None:
+        self.stats.quarantined += 1
+        spec = self.specs[i]
+        kills = self.kills[i]
+        error = (
+            f"worker process died {kills} times running this job; quarantined"
+        )
+        if self.config.quarantine_dir is not None:
+            path = quarantine_spec(self.config.quarantine_dir, spec, kills, error)
+            error = f"{error} (spec saved to {path})"
+        self._record_failure(i, error, elapsed, quarantined=True)
+
+    def _record_success(self, i: int, result: dict, elapsed: float) -> None:
+        self.recorded.add(i)
+        self.record(i, result, None, self.submissions[i], elapsed, False)
+
+    def _record_failure(
+        self, i: int, error: str, elapsed: float, quarantined: bool = False
+    ) -> None:
+        self.recorded.add(i)
+        self.record(i, None, error, self.submissions[i], elapsed, quarantined)
+
+
+def _describe(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"

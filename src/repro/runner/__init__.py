@@ -8,8 +8,11 @@ The pieces, bottom-up:
 * :mod:`repro.runner.cache` — :class:`ResultCache`, JSON files under
   ``.repro_cache/`` keyed by spec hash, salted by a digest of the
   package source so code changes invalidate stale results;
-* :mod:`repro.runner.executor` — :func:`run_grid`, a process-pool
-  fan-out with per-job timeout, bounded retry, and serial fallback;
+* :mod:`repro.runner.executor` — :func:`run_grid`, a supervised
+  process-pool fan-out (per-job timeout, deterministic backoff retry,
+  pool rebuild on worker death, poison-job quarantine, journal-backed
+  resume, graceful drain — see :mod:`repro.resilience`) with serial
+  fallback;
 * :mod:`repro.runner.grid` — batch grid-file expansion for
   ``python -m repro batch``.
 

@@ -75,18 +75,28 @@ def default_cache_dir() -> pathlib.Path:
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting for one runner invocation."""
+    """Hit/miss accounting for one runner invocation.
+
+    ``corrupt`` counts entries that existed but could not be used —
+    truncated, unparseable, or structurally wrong payloads — each of
+    which was quarantined and treated as a miss (``misses`` includes
+    them).
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
         return self.hits + self.misses
 
     def describe(self) -> str:
-        return f"{self.hits} hits, {self.misses} misses"
+        base = f"{self.hits} hits, {self.misses} misses"
+        if self.corrupt:
+            base += f", {self.corrupt} corrupt entries quarantined"
+        return base
 
 
 @dataclass
@@ -106,21 +116,50 @@ class ResultCache:
     def get(self, spec: JobSpec) -> dict | None:
         """The cached result for ``spec``, or ``None`` on miss.
 
-        A payload written under a different salt (older code) or an
-        unreadable file counts as a miss.
+        A payload written under a different salt (older code) counts as
+        a plain miss and is overwritten by the next ``put``.  A file
+        that exists but cannot be used — truncated or garbage bytes,
+        non-JSON, or a JSON shape without a result — is *corrupt*: it
+        is moved to ``<root>/quarantine/`` for inspection, counted in
+        :attr:`CacheStats.corrupt`, and treated as a miss rather than
+        raised, so one bad entry never takes a sweep down.
         """
         path = self.path_for(spec)
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+            raw = path.read_bytes()
+        except OSError:
             self.stats.misses += 1
             return None
+        try:
+            # json decodes the bytes itself; undecodable garbage raises
+            # UnicodeDecodeError, which is a ValueError -> corrupt.
+            payload = json.loads(raw)
+        except ValueError:
+            return self._corrupt_miss(path)
+        if not isinstance(payload, dict):
+            return self._corrupt_miss(path)
         if (payload.get("salt") != self.salt
                 or payload.get("schema") != _SCHEMA_VERSION):
             self.stats.misses += 1
             return None
+        result = payload.get("result")
+        if not isinstance(result, dict):
+            return self._corrupt_miss(path)
         self.stats.hits += 1
-        return payload["result"]
+        return result
+
+    def _corrupt_miss(self, path: pathlib.Path) -> None:
+        """Quarantine a corrupt entry and report a miss."""
+        self.stats.corrupt += 1
+        self.stats.misses += 1
+        try:
+            quarantine = self.root / "quarantine"
+            quarantine.mkdir(parents=True, exist_ok=True)
+            os.replace(path, quarantine / path.name)
+        except OSError:
+            # Couldn't move it; the next put overwrites it in place.
+            pass
+        return None
 
     def put(self, spec: JobSpec, result: dict) -> pathlib.Path:
         """Store ``result`` for ``spec`` (atomically); returns the path."""

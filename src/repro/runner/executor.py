@@ -1,39 +1,54 @@
-"""Fan a grid of job specs across worker processes.
+"""Fan a grid of job specs across supervised worker processes.
 
 :func:`run_grid` is the engine of ``python -m repro sweep`` / ``batch``:
-it resolves cache hits first, then executes the remaining specs — in
-this process when ``workers=1``, otherwise on a
-:class:`~concurrent.futures.ProcessPoolExecutor` — with a per-job
-timeout and bounded retry on failure.  Simulations are deterministic in
-their spec, so outcomes are returned in *input order* and a sweep's
-aggregate is byte-identical whatever the worker count.
+it resolves journal replays and cache hits first, then executes the
+remaining specs — in this process when ``workers=1``, otherwise on a
+:class:`~repro.resilience.supervisor.SupervisedPool`.  Simulations are
+deterministic in their spec, so outcomes are returned in *input order*
+and a sweep's aggregate is byte-identical whatever the worker count.
 
 Semantics worth knowing:
 
-* **Timeouts** apply wall-clock from the moment a job starts executing
-  (at most ``workers`` jobs are in flight, so a submitted job starts
-  immediately).  A timed-out job fails permanently — a job that blew
-  its budget once will blow it again, so it is not retried.  The worker
-  process cannot be interrupted mid-simulation; its slot is abandoned
-  and drains in the background.
+* **Timeouts** apply wall-clock from the moment a job starts executing.
+  A timed-out job fails permanently — a job that blew its budget once
+  will blow it again, so it is not retried.  The stuck worker is
+  terminated and the pool rebuilt, so the sweep keeps its full
+  parallelism; innocent in-flight jobs are re-queued.
 * **Retries** cover transient failures: any exception from the job
-  earns up to ``retries`` re-submissions before the outcome is recorded
-  as an error.
-* **Degradation**: if the pool cannot be created, everything runs
-  serially in-process.  If the pool *breaks* (a worker died), jobs that
-  were in flight are recorded as failures — the dead worker's job
-  cannot be told apart from its victims, and rerunning a
-  worker-killing job in-process could take the whole sweep down — while
-  jobs never started fall back to serial execution.
+  earns up to ``retries`` re-submissions, spaced by deterministic
+  capped exponential backoff (jitter seeded from the spec digest — see
+  :func:`repro.resilience.supervisor.backoff_delay_s`).
+* **Worker death** breaks the pool; the supervisor rebuilds it and
+  re-runs the suspect jobs solo for definitive blame.  A job that kills
+  a worker twice is quarantined (spec serialized under
+  ``<cache>/quarantine/``) instead of retried; its victims are
+  exonerated and complete normally.
+* **Journaling**: with ``journal=`` every start/finish/failure is
+  fsynced to an append-only journal; jobs the journal records as
+  complete are never recomputed (their results ride in the journal, so
+  resume works even with the cache disabled).
+* **Interruption**: when ``stop_event`` is set (the CLI wires
+  SIGINT/SIGTERM to it) the sweep drains gracefully — finished futures
+  are kept, everything else is cancelled and reported with an
+  ``interrupted`` outcome, and :attr:`GridReport.interrupted` tells the
+  caller to print a resume command.
+* **Degradation**: if a pool cannot be created (or workers die at
+  startup repeatedly), everything left runs serially in-process.
 """
 
 from __future__ import annotations
 
+import pathlib
 import time
-from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro.resilience.supervisor import (
+    ExecutorStats,
+    SupervisedPool,
+    SupervisorConfig,
+    backoff_delay_s,
+)
 from repro.runner.cache import CacheStats, ResultCache
 from repro.runner.spec import JobSpec
 
@@ -84,7 +99,12 @@ def execute_spec(spec: JobSpec) -> dict:
 
 @dataclass
 class JobOutcome:
-    """What happened to one spec: a result, a cache hit, or an error."""
+    """What happened to one spec: a result, a cache hit, or an error.
+
+    ``resumed`` marks outcomes served from a journal replay (the job ran
+    in a previous invocation of the sweep); ``quarantined`` marks poison
+    jobs the supervisor refused to retry.
+    """
 
     spec: JobSpec
     result: dict | None
@@ -92,6 +112,8 @@ class JobOutcome:
     attempts: int = 0
     cached: bool = False
     elapsed_s: float = 0.0
+    quarantined: bool = False
+    resumed: bool = False
 
     @property
     def ok(self) -> bool:
@@ -105,6 +127,7 @@ class GridReport:
     outcomes: list[JobOutcome]
     cache_stats: CacheStats | None
     wall_s: float
+    exec_stats: ExecutorStats | None = None
 
     @property
     def failures(self) -> list[JobOutcome]:
@@ -113,6 +136,11 @@ class GridReport:
     @property
     def results(self) -> list[dict]:
         return [o.result for o in self.outcomes if o.ok]
+
+    @property
+    def interrupted(self) -> bool:
+        """Whether the sweep was stopped before every job completed."""
+        return self.exec_stats is not None and self.exec_stats.interrupted
 
     def scalar_samples(self) -> list[dict]:
         """The per-job scalar dicts, in spec order (failed jobs skipped)."""
@@ -134,37 +162,114 @@ def run_grid(
     retries: int = 1,
     run_fn: Callable[[JobSpec], dict] = execute_spec,
     progress: ProgressFn | None = None,
+    journal=None,
+    stop_event=None,
+    backoff_base_s: float = 0.05,
+    backoff_cap_s: float = 2.0,
+    quarantine_dir: str | pathlib.Path | None = None,
 ) -> GridReport:
-    """Execute every spec, consulting and filling ``cache`` if given."""
+    """Execute every spec, consulting ``cache`` and ``journal`` if given.
+
+    ``journal`` is a :class:`repro.resilience.journal.SweepJournal`:
+    jobs it records as complete are returned without recomputation, and
+    every lifecycle event of the remaining jobs is appended to it.
+    ``stop_event`` (a ``threading.Event``) requests a graceful drain.
+    ``quarantine_dir`` overrides where poison-job specs are serialized
+    (default: ``<cache root>/quarantine`` when a cache is given,
+    nowhere otherwise).
+    """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
     started = time.monotonic()
     specs = list(specs)
+    stats = ExecutorStats()
     outcomes: dict[int, JobOutcome] = {}
     to_run: list[int] = []
     for i, spec in enumerate(specs):
+        if journal is not None:
+            prior = journal.completed_result(spec)
+            if prior is not None:
+                outcomes[i] = JobOutcome(
+                    spec=spec, result=prior, cached=True, resumed=True
+                )
+                continue
+            if journal.is_quarantined(spec):
+                outcomes[i] = JobOutcome(
+                    spec=spec,
+                    result=None,
+                    error=journal.quarantine_error(spec)
+                    or "quarantined in a previous run",
+                    quarantined=True,
+                    resumed=True,
+                )
+                continue
         hit = cache.get(spec) if cache is not None else None
         if hit is not None:
             outcomes[i] = JobOutcome(spec=spec, result=hit, cached=True)
+            if journal is not None:
+                # Journal the cache hit too: resume must not depend on
+                # the cache still existing (or being enabled).
+                journal.record_outcome(i, outcomes[i])
         else:
             to_run.append(i)
 
-    if to_run:
+    if quarantine_dir is None and cache is not None:
+        quarantine_dir = pathlib.Path(cache.root) / "quarantine"
+    if to_run and not _stopped(stop_event):
+        config = SupervisorConfig(
+            timeout_s=timeout_s,
+            retries=retries,
+            backoff_base_s=backoff_base_s,
+            backoff_cap_s=backoff_cap_s,
+            quarantine_dir=(
+                pathlib.Path(quarantine_dir) if quarantine_dir is not None else None
+            ),
+        )
         if workers == 1 or len(to_run) == 1:
-            _run_serial(specs, to_run, retries, run_fn, outcomes)
+            _run_serial(
+                specs, to_run, config, run_fn, outcomes, stats,
+                journal=journal, stop_event=stop_event,
+            )
         else:
-            _run_parallel(specs, to_run, workers, timeout_s, retries, run_fn,
-                          outcomes)
+            def record(i, result, error, attempts, elapsed_s, quarantined):
+                outcomes[i] = JobOutcome(
+                    spec=specs[i], result=result, error=error,
+                    attempts=attempts, elapsed_s=elapsed_s,
+                    quarantined=quarantined,
+                )
+                if journal is not None:
+                    journal.record_outcome(i, outcomes[i])
+
+            def on_start(i):
+                if journal is not None:
+                    journal.record_start(i, specs[i])
+
+            SupervisedPool(
+                specs, to_run, workers, run_fn, config, stats,
+                record=record, on_start=on_start, stop_event=stop_event,
+            ).run()
         leftover = [i for i in to_run if i not in outcomes]
-        if leftover:  # pool unavailable or broke before these started
-            _run_serial(specs, leftover, retries, run_fn, outcomes)
+        if leftover and not stats.interrupted and not _stopped(stop_event):
+            # Pool unavailable (or it gave up): finish serially.
+            _run_serial(
+                specs, leftover, config, run_fn, outcomes, stats,
+                journal=journal, stop_event=stop_event,
+            )
         if cache is not None:
             for i in to_run:
-                outcome = outcomes[i]
-                if outcome.ok:
+                outcome = outcomes.get(i)
+                if outcome is not None and outcome.ok:
                     cache.put(outcome.spec, outcome.result)
+
+    for i, spec in enumerate(specs):
+        if i not in outcomes:
+            stats.interrupted = True
+            outcomes[i] = JobOutcome(
+                spec=spec, result=None,
+                error="interrupted before completion",
+            )
 
     ordered = [outcomes[i] for i in range(len(specs))]
     if progress is not None:
@@ -174,7 +279,12 @@ def run_grid(
         outcomes=ordered,
         cache_stats=cache.stats if cache is not None else None,
         wall_s=time.monotonic() - started,
+        exec_stats=stats,
     )
+
+
+def _stopped(stop_event) -> bool:
+    return stop_event is not None and stop_event.is_set()
 
 
 def _describe(exc: BaseException) -> str:
@@ -184,20 +294,35 @@ def _describe(exc: BaseException) -> str:
 def _run_serial(
     specs: Sequence[JobSpec],
     indices: Sequence[int],
-    retries: int,
+    config: SupervisorConfig,
     run_fn: Callable[[JobSpec], dict],
     outcomes: dict[int, JobOutcome],
+    stats: ExecutorStats,
+    journal=None,
+    stop_event=None,
 ) -> None:
     """In-process execution (no timeout enforcement — nothing to kill)."""
     for i in indices:
+        if _stopped(stop_event):
+            stats.interrupted = True
+            return
         attempts = 0
         start = time.monotonic()
         while True:
             attempts += 1
+            if journal is not None:
+                journal.record_start(i, specs[i])
             try:
                 result = run_fn(specs[i])
             except Exception as exc:
-                if attempts <= retries:
+                if attempts <= config.retries:
+                    stats.retries += 1
+                    time.sleep(
+                        backoff_delay_s(
+                            specs[i], attempts,
+                            config.backoff_base_s, config.backoff_cap_s,
+                        )
+                    )
                     continue
                 outcomes[i] = JobOutcome(
                     spec=specs[i], result=None, error=_describe(exc),
@@ -208,99 +333,6 @@ def _run_serial(
                     spec=specs[i], result=result, attempts=attempts,
                     elapsed_s=time.monotonic() - start,
                 )
+            if journal is not None:
+                journal.record_outcome(i, outcomes[i])
             break
-
-
-def _run_parallel(
-    specs: Sequence[JobSpec],
-    indices: Sequence[int],
-    workers: int,
-    timeout_s: float | None,
-    retries: int,
-    run_fn: Callable[[JobSpec], dict],
-    outcomes: dict[int, JobOutcome],
-) -> None:
-    """Sliding-window pool execution; missing outcomes mean a broken pool."""
-    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-    from concurrent.futures.process import BrokenProcessPool
-
-    try:
-        pool = ProcessPoolExecutor(max_workers=min(workers, len(indices)))
-    except (OSError, ValueError):  # no fork/spawn available → serial fallback
-        return
-    pending = deque(indices)
-    attempts = dict.fromkeys(indices, 0)
-    running: dict = {}  # future -> (index, start time)
-    try:
-        while pending or running:
-            while pending and len(running) < workers:
-                i = pending.popleft()
-                attempts[i] += 1
-                future = pool.submit(run_fn, specs[i])
-                running[future] = (i, time.monotonic())
-            poll_s = 0.05 if timeout_s is not None else None
-            done, _ = wait(set(running), timeout=poll_s,
-                           return_when=FIRST_COMPLETED)
-            now = time.monotonic()
-            for future in done:
-                i, start = running.pop(future)
-                try:
-                    result = future.result()
-                except BrokenProcessPool:
-                    # The worker running this job died (crash, OOM kill,
-                    # os._exit).  Don't rerun it in-process — it may take
-                    # the whole sweep down with it.
-                    outcomes[i] = JobOutcome(
-                        spec=specs[i], result=None,
-                        error="worker process died (broken pool)",
-                        attempts=attempts[i], elapsed_s=now - start,
-                    )
-                    raise
-                except Exception as exc:
-                    if attempts[i] <= retries:
-                        pending.append(i)
-                    else:
-                        outcomes[i] = JobOutcome(
-                            spec=specs[i], result=None, error=_describe(exc),
-                            attempts=attempts[i], elapsed_s=now - start,
-                        )
-                else:
-                    outcomes[i] = JobOutcome(
-                        spec=specs[i], result=result, attempts=attempts[i],
-                        elapsed_s=now - start,
-                    )
-            if timeout_s is not None:
-                for future, (i, start) in list(running.items()):
-                    if now - start > timeout_s:
-                        future.cancel()
-                        running.pop(future)
-                        outcomes[i] = JobOutcome(
-                            spec=specs[i], result=None,
-                            error=f"timeout after {timeout_s:g}s",
-                            attempts=attempts[i], elapsed_s=now - start,
-                        )
-    except BrokenProcessPool:
-        # A broken pool fails every in-flight future; the dead worker's
-        # job cannot be told apart from its victims, so record them all
-        # as failures rather than risking an in-process rerun.  Jobs
-        # still queued (never started) have no outcome — the caller
-        # finishes those serially.
-        now = time.monotonic()
-        for future, (i, start) in running.items():
-            if future.done() and not future.cancelled() \
-                    and future.exception() is None:
-                outcomes[i] = JobOutcome(
-                    spec=specs[i], result=future.result(),
-                    attempts=attempts[i], elapsed_s=now - start,
-                )
-            else:
-                outcomes[i] = JobOutcome(
-                    spec=specs[i], result=None,
-                    error="worker process died (broken pool)",
-                    attempts=attempts[i], elapsed_s=now - start,
-                )
-        running.clear()
-    finally:
-        for future in running:
-            future.cancel()
-        pool.shutdown(wait=False, cancel_futures=True)

@@ -19,11 +19,23 @@ class Clock:
 
     __slots__ = ("tick_ms", "_ticks")
 
-    def __init__(self, tick_ms: int = 10) -> None:
+    def __init__(self, tick_ms: int = 10, ticks: int = 0) -> None:
         if tick_ms <= 0:
             raise ValueError(f"tick_ms must be positive, got {tick_ms}")
+        if ticks < 0:
+            raise ValueError(f"ticks must be non-negative, got {ticks}")
         self.tick_ms = int(tick_ms)
-        self._ticks = 0
+        self._ticks = int(ticks)
+
+    @classmethod
+    def at(cls, tick_ms: int, ticks: int) -> "Clock":
+        """A clock restored to an arbitrary tick count.
+
+        Used when resuming a checkpointed run: the clock continues from
+        the tick the snapshot was taken at, so tick-phase arithmetic
+        (balance staggering, sampling) lines up with the original run.
+        """
+        return cls(tick_ms, ticks=ticks)
 
     @property
     def ticks(self) -> int:

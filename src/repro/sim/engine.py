@@ -58,6 +58,20 @@ class Engine:
             raise ValueError(f"duration must be positive, got {seconds}")
         self.run_ticks(self.clock.ticks_for_ms(seconds * 1000.0))
 
+    def run_until_tick(self, total_ticks: int) -> None:
+        """Run until the clock reaches ``total_ticks`` whole ticks.
+
+        A no-op when the clock is already there — this is the resume
+        primitive: an engine rebuilt from a checkpoint at tick T
+        finishes a ``run_for(D)`` run with
+        ``run_until_tick(clock.ticks_for_ms(D * 1000))``.
+        """
+        if total_ticks < 0:
+            raise ValueError(f"total_ticks must be non-negative, got {total_ticks}")
+        remaining = total_ticks - self.clock.ticks
+        if remaining > 0:
+            self.run_ticks(remaining)
+
     def run_ticks(self, n_ticks: int) -> None:
         """Run exactly ``n_ticks`` ticks (or fewer if a stop is requested)."""
         if n_ticks < 0:

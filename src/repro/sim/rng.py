@@ -40,6 +40,26 @@ class RngFactory:
         """
         return random.Random(self._derive(name))
 
+    def snapshot_state(self) -> dict[str, tuple]:
+        """Exact generator state of every stream created so far.
+
+        Keys are stream names; values are ``random.Random.getstate()``
+        tuples.  Together with the root seed this captures the factory
+        completely: restoring it replays the same draws in the same
+        order from the capture point on.
+        """
+        return {name: rng.getstate() for name, rng in self._streams.items()}
+
+    def restore_state(self, states: dict[str, tuple]) -> None:
+        """Restore stream states captured by :meth:`snapshot_state`.
+
+        Streams absent from ``states`` are left untouched; streams not
+        yet created are instantiated first (so the restored factory does
+        not depend on which streams happened to exist already).
+        """
+        for name, state in states.items():
+            self.stream(name).setstate(state)
+
     def _derive(self, name: str) -> int:
         digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
         return int.from_bytes(digest[:8], "big")

@@ -58,6 +58,30 @@ from repro.workloads.generator import TaskSpec, WorkloadSpec
 from repro.workloads.programs import PROGRAMS
 
 
+#: Checkpoint format identity.  The schema string names the container
+#: layout (header fields + pickled machine payload); the version bumps
+#: whenever either changes incompatibly.  Loaders reject anything else.
+CHECKPOINT_SCHEMA = "repro-checkpoint"
+CHECKPOINT_VERSION = 1
+
+#: Attributes excluded from pickling: every one is *derived* — either a
+#: pure memo (cleared and recomputed on demand, values bit-identical by
+#: construction) or an alias into state that pickle cannot preserve
+#: (numpy views lose their base; bound-method shadows rebind to the old
+#: object).  ``__setstate__`` re-derives them all.
+_DERIVED_ATTRS = (
+    "tick",            # profiled-tick method shadow (bound to the old self)
+    "_bank_rows",      # views into _counts_mx (numpy pickles views as copies)
+    "_pmc_gauss",      # bound methods of the per-CPU jitter streams
+    "_meter_gauss",    # bound methods of the per-package meter streams
+    "_mix_cache",      # id()-keyed memo of dynamic power per mix
+    "_tick_cache",     # id()-keyed memo of per-(mix, cycles) tick energy
+    "_cycles_for_dt",  # per-tick-length memo
+    "_rc_decay_dt",    # per-tick-length memo
+    "_rc_decays",      # per-tick-length memo
+)
+
+
 @dataclass
 class SlotState:
     """Runtime state of one workload slot."""
@@ -295,6 +319,99 @@ class System:
         self._idle_balance_ticks = max(1, config.idle_balance_interval_ms // tick)
         self._hot_check_ticks = max(1, config.hot_check_interval_ms // tick)
         self._sample_every = max(1, int(config.sample_interval_s * 1000) // tick)
+
+    # ------------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------------
+    # Pickle captures the whole machine: tasks, runqueues, EWMA profiles,
+    # thermal RC state, the RNG factory with the exact Mersenne state of
+    # every stream, tracer series/events/counters, and (when enabled)
+    # the validator and observer.  Shared references — streams handed to
+    # behaviors and banks, list columns shared between the metrics board
+    # and the state block, tasks on runqueues and in slots — survive via
+    # the pickle memo.  Only the derived attributes in _DERIVED_ATTRS
+    # are dropped and rebuilt, so a restored system continues the run
+    # bit-identically (asserted per pinned perf scenario in
+    # tests/test_resilience_checkpoint.py).
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        for name in _DERIVED_ATTRS:
+            state.pop(name, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Re-alias each counter bank onto its matrix row: the values are
+        # already equal (the row and the bank's standalone copy pickled
+        # from the same memory), so rebinding only restores the aliasing
+        # the batched path needs.
+        for c, bank in enumerate(self.banks):
+            bank.bind_row(self._counts_mx[c])
+        self._bank_rows = [self._counts_mx[c] for c in range(self.n_cpus)]
+        self._pmc_gauss = [
+            self.rng.stream(f"pmc:{c}").gauss for c in range(self.n_cpus)
+        ]
+        self._meter_gauss = [r.gauss for r in self._meter_rngs]
+        self._mix_cache = {}
+        self._tick_cache = TickEnergyCache(
+            self.estimator, self.power, self.exec_model.freq_hz
+        )
+        self._cycles_for_dt = None
+        self._rc_decay_dt = None
+        self._rc_decays = []
+        observer = self.observer
+        if observer is not None:
+            if observer.audit is not None:
+                observer.audit.rearm(lambda: self._now_ms)
+            if observer.profile is not None:
+                self.tick = self._tick_profiled
+
+    def snapshot(self) -> dict:
+        """A versioned, self-contained checkpoint of the machine.
+
+        The returned dict is the in-memory checkpoint format:
+        identifying header fields plus the pickled machine as the
+        ``payload``.  :func:`repro.resilience.checkpoint.save_checkpoint`
+        writes it to disk atomically; :meth:`restore` rebuilds the
+        system.  Snapshotting reads state only — taking one mid-run does
+        not perturb the run.
+        """
+        import pickle
+
+        return {
+            "schema": f"{CHECKPOINT_SCHEMA}/{CHECKPOINT_VERSION}",
+            "version": CHECKPOINT_VERSION,
+            "tick_ms": self.config.tick_ms,
+            "now_ms": self._now_ms,
+            "ticks": self._now_ms // self.config.tick_ms,
+            "policy": self.policy_name,
+            "fast_path": self.fast_path,
+            "payload": pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL),
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict) -> "System":
+        """Rebuild a machine from a :meth:`snapshot` dict.
+
+        Validates the schema/version header before unpickling and
+        raises ``ValueError`` on anything this code cannot load.
+        """
+        schema = snapshot.get("schema")
+        expected = f"{CHECKPOINT_SCHEMA}/{CHECKPOINT_VERSION}"
+        if schema != expected:
+            raise ValueError(
+                f"unsupported checkpoint schema {schema!r}; this build "
+                f"reads {expected!r}"
+            )
+        import pickle
+
+        system = pickle.loads(snapshot["payload"])
+        if not isinstance(system, cls):
+            raise ValueError(
+                f"checkpoint payload is {type(system).__name__}, not a System"
+            )
+        return system
 
     # ------------------------------------------------------------------------
     # Tick phases

@@ -1,0 +1,176 @@
+"""Sweep journal: replay, torn tails, salt invalidation, resume."""
+
+import json
+
+import pytest
+
+from repro.resilience import (
+    JOURNAL_SCHEMA,
+    SweepJournal,
+    replay_journal,
+)
+from repro.runner import JobSpec, run_grid
+from repro.runner.cache import code_salt
+
+
+def _specs(n=3):
+    return [JobSpec(experiment="fig9", seed=s, duration_s=3.0)
+            for s in range(1, n + 1)]
+
+
+def _ok(spec):
+    return {"scalars": {"value": float(spec.seed)}}
+
+
+def _fail_even_seeds(spec):
+    if spec.seed % 2 == 0:
+        raise RuntimeError("even seeds fail")
+    return {"scalars": {"value": float(spec.seed)}}
+
+
+class TestReplay:
+    def test_missing_file_is_an_empty_replay(self, tmp_path):
+        replay = replay_journal(tmp_path / "nope.jsonl")
+        assert replay.records == 0
+        assert replay.completed == {}
+        with pytest.raises(ValueError, match="no meta record"):
+            replay.specs()
+
+    def test_full_run_replays_as_all_completed(self, tmp_path):
+        specs = _specs()
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(path, specs) as journal:
+            run_grid(specs, run_fn=_ok, journal=journal)
+        replay = replay_journal(path)
+        hashes = [s.content_hash() for s in specs]
+        assert sorted(replay.completed) == sorted(hashes)
+        assert replay.in_flight == set()
+        assert replay.salt == code_salt()
+        # Meta record is self-contained: the grid rebuilds from it.
+        rebuilt = replay.specs()
+        assert [s.content_hash() for s in rebuilt] == hashes
+        # Results ride inline, so resume needs no cache.
+        assert replay.result_of(hashes[0]) == {"scalars": {"value": 1.0}}
+
+    def test_start_without_finish_is_in_flight(self, tmp_path):
+        specs = _specs(1)
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(path, specs) as journal:
+            journal.record_start(0, specs[0])
+        replay = replay_journal(path)
+        assert replay.in_flight == {specs[0].content_hash()}
+        assert replay.completed == {}
+
+    def test_torn_tail_is_skipped_not_fatal(self, tmp_path):
+        specs = _specs()
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(path, specs) as journal:
+            run_grid(specs, run_fn=_ok, journal=journal)
+        with open(path, "ab") as fh:
+            fh.write(b'{"kind":"finish","hash":"abc","resu')  # SIGKILL here
+        replay = replay_journal(path)
+        assert replay.torn_lines == 1
+        assert len(replay.completed) == len(specs)
+
+    def test_failures_and_quarantine_records(self, tmp_path):
+        specs = _specs(4)
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(path, specs) as journal:
+            run_grid(specs, run_fn=_fail_even_seeds, journal=journal,
+                     retries=0)
+        replay = replay_journal(path)
+        failed = {specs[1].content_hash(), specs[3].content_hash()}
+        assert set(replay.failed) == failed
+        assert replay.quarantined == {}  # plain failures, not poison jobs
+        # A later finish for a previously failed hash clears the failure.
+        record = {"kind": "finish", "index": 1,
+                  "hash": specs[1].content_hash(),
+                  "result": {"scalars": {}}}
+        with open(path, "ab") as fh:
+            fh.write(json.dumps(record).encode() + b"\n")
+        replay = replay_journal(path)
+        assert set(replay.failed) == {specs[3].content_hash()}
+
+
+class TestSaltInvalidation:
+    def test_stale_salt_results_are_not_served(self, tmp_path):
+        specs = _specs()
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(path, specs, salt="old-salt") as journal:
+            run_grid(specs, run_fn=_ok, journal=journal)
+        # Same journal, new code version: everything is recomputed.
+        calls = []
+
+        def counting(spec):
+            calls.append(spec.seed)
+            return _ok(spec)
+
+        with SweepJournal(path, specs, salt="new-salt") as journal:
+            report = run_grid(specs, run_fn=counting, journal=journal)
+        assert sorted(calls) == [1, 2, 3]
+        assert all(o.ok and not o.resumed for o in report.outcomes)
+
+
+class TestResume:
+    def test_resume_serves_completed_jobs_without_recompute(self, tmp_path):
+        specs = _specs()
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(path, specs) as journal:
+            run_grid(specs, run_fn=_ok, journal=journal)
+
+        def explode(spec):  # pragma: no cover - must never run
+            raise AssertionError("resume recomputed a journaled job")
+
+        with SweepJournal(path, specs) as journal:
+            report = run_grid(specs, run_fn=explode, journal=journal)
+        assert all(o.ok and o.resumed and o.cached for o in report.outcomes)
+        assert [o.result["scalars"]["value"]
+                for o in report.outcomes] == [1.0, 2.0, 3.0]
+
+    def test_partial_run_resumes_only_the_remainder(self, tmp_path):
+        specs = _specs(4)
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(path, specs) as journal:
+            # First invocation only completes the first two jobs.
+            run_grid(specs[:2], run_fn=_ok, journal=journal)
+        calls = []
+
+        def counting(spec):
+            calls.append(spec.seed)
+            return _ok(spec)
+
+        with SweepJournal(path, specs) as journal:
+            report = run_grid(specs, run_fn=counting, journal=journal)
+        assert sorted(calls) == [3, 4]
+        assert [o.resumed for o in report.outcomes] == [
+            True, True, False, False,
+        ]
+
+    def test_cache_hits_are_journaled_for_cacheless_resume(self, tmp_path):
+        from repro.runner import ResultCache
+
+        specs = _specs()
+        cache = ResultCache(root=tmp_path / "cache")
+        run_grid(specs, run_fn=_ok, cache=cache)  # warm the cache
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(path, specs) as journal:
+            report = run_grid(specs, run_fn=_ok, cache=cache,
+                              journal=journal)
+        assert all(o.cached for o in report.outcomes)
+        # Resume with the cache gone: journal alone serves the results.
+        with SweepJournal(path, specs) as journal:
+            resumed = run_grid(specs, run_fn=_fail_even_seeds,
+                               journal=journal)
+        assert all(o.ok and o.resumed for o in resumed.outcomes)
+
+    def test_meta_kept_when_reopened_with_same_grid(self, tmp_path):
+        specs = _specs()
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(path, specs):
+            pass
+        with SweepJournal(path, specs):
+            pass
+        metas = [json.loads(line) for line in path.read_text().splitlines()
+                 if json.loads(line)["kind"] == "meta"]
+        assert len(metas) == 1
+        assert metas[0]["schema"] == JOURNAL_SCHEMA

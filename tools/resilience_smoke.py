@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""CI smoke test for crash-safe sweeps.
+
+Orchestrates the failure sequence the resilience layer exists for:
+
+1. start a journaled sweep with two workers;
+2. SIGKILL one *worker* process mid-grid (the supervisor must rebuild
+   the pool and keep going);
+3. SIGKILL the *driver* shortly after (simulated preemption — nothing
+   gets to clean up);
+4. assert the journal replays cleanly (at most one torn tail line);
+5. ``sweep --resume`` the journal to completion;
+6. diff the resumed run's per-seed scalars and aggregate against an
+   uninterrupted reference run.
+
+Exits non-zero with a diagnostic on any failure.  Needs only the repo
+checkout (``python tools/resilience_smoke.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.resilience import replay_journal  # noqa: E402
+
+SEEDS = "1..6"
+DURATION = "120"
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def sweep_argv(*extra: str) -> list[str]:
+    return [sys.executable, "-m", "repro", "sweep", *extra]
+
+
+def child_pids(pid: int) -> list[int]:
+    """Direct children of ``pid`` via /proc (Linux only)."""
+    pids: list[int] = []
+    task_dir = pathlib.Path(f"/proc/{pid}/task")
+    try:
+        for task in task_dir.iterdir():
+            children = task / "children"
+            pids.extend(int(p) for p in children.read_text().split())
+    except OSError:
+        pass
+    return pids
+
+
+def wait_for(predicate, timeout_s: float, what: str) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    fail(f"timed out waiting for {what}")
+
+
+def main() -> None:
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="resilience-smoke-"))
+    journal = workdir / "sweep.jsonl"
+    env = dict(
+        os.environ,
+        PYTHONPATH=str(REPO_ROOT / "src"),
+        REPRO_CACHE_DIR=str(workdir / "cache"),
+    )
+
+    print("== starting journaled sweep (2 workers)")
+    driver = subprocess.Popen(
+        sweep_argv("fig9", "--seeds", SEEDS, "--duration", DURATION,
+                   "--workers", "2", "--no-cache",
+                   "--journal", str(journal)),
+        env=env, cwd=str(workdir),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        wait_for(
+            lambda: journal.exists()
+            and '"kind":"start"' in journal.read_text(),
+            timeout_s=90.0, what="the first journaled job start",
+        )
+        wait_for(lambda: child_pids(driver.pid), timeout_s=30.0,
+                 what="worker processes to spawn")
+        workers = child_pids(driver.pid)
+        print(f"== SIGKILLing worker {workers[0]} mid-grid")
+        os.kill(workers[0], signal.SIGKILL)
+
+        # Let the supervisor rebuild the pool and journal at least one
+        # completed job, then kill the driver outright: no drain, no
+        # atexit, just preemption.
+        wait_for(
+            lambda: '"kind":"finish"' in journal.read_text(),
+            timeout_s=120.0, what="a journaled job completion",
+        )
+        print(f"== SIGKILLing driver {driver.pid}")
+        driver.kill()
+        driver.wait(timeout=30)
+    finally:
+        if driver.poll() is None:
+            driver.kill()
+            driver.wait()
+        for pid in child_pids(driver.pid):  # orphan cleanup, best-effort
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except OSError:
+                pass
+
+    print("== replaying the journal")
+    replay = replay_journal(journal)
+    if replay.meta is None:
+        fail("journal has no meta record")
+    if replay.torn_lines > 1:
+        fail(f"journal has {replay.torn_lines} torn lines (max 1 expected)")
+    if len(replay.completed) >= 6:
+        fail("grid completed before the driver was killed; nothing to "
+             "resume — raise DURATION")
+    print(f"   {replay.records} records, {len(replay.completed)} complete, "
+          f"{len(replay.in_flight)} in flight, "
+          f"{replay.torn_lines} torn line(s)")
+
+    print("== resuming the sweep to completion")
+    resumed = subprocess.run(
+        sweep_argv("--resume", str(journal), "--no-cache", "--workers", "2",
+                   "--json"),
+        env=env, cwd=str(workdir), capture_output=True, text=True,
+        timeout=600,
+    )
+    if resumed.returncode != 0:
+        fail(f"--resume exited {resumed.returncode}:\n{resumed.stderr}")
+    if "resumed" not in resumed.stderr:
+        fail("resume did not serve any job from the journal")
+
+    print("== running the uninterrupted reference")
+    reference = subprocess.run(
+        sweep_argv("fig9", "--seeds", SEEDS, "--duration", DURATION,
+                   "--no-cache", "--json"),
+        env=env, cwd=str(workdir), capture_output=True, text=True,
+        timeout=600,
+    )
+    if reference.returncode != 0:
+        fail(f"reference sweep exited {reference.returncode}:\n"
+             f"{reference.stderr}")
+
+    got = json.loads(resumed.stdout)
+    want = json.loads(reference.stdout)
+    for key in ("jobs", "seeds", "aggregate"):
+        if got[key] != want[key]:
+            fail(f"resumed sweep diverged from the uninterrupted run "
+                 f"in {key!r}:\n  resumed:   {got[key]}\n"
+                 f"  reference: {want[key]}")
+    print("== OK: journal replayable, resume complete, aggregates identical")
+
+
+if __name__ == "__main__":
+    main()

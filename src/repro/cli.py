@@ -103,6 +103,14 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
                              "completed jobs are served from the journal "
                              "with zero recomputation, in-flight and failed "
                              "ones re-run")
+    parser.add_argument("--engine", choices=("pool", "fleet"),
+                        default="pool",
+                        help="execution engine: 'pool' runs one job per "
+                             "worker process; 'fleet' packs fleet-eligible "
+                             "scenario jobs into vectorized batches that "
+                             "advance N machines per tick (ineligible jobs "
+                             "fall back to the pool; results are "
+                             "byte-identical either way)")
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON instead of tables")
 
@@ -171,7 +179,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("experiment", nargs="?", default=None,
                        help="experiment name (see 'list'); optional with "
                             "--resume, which rebuilds the grid from the "
-                            "journal")
+                            "journal, or with --scenario")
+    sweep.add_argument("--scenario", default=None, metavar="PATH",
+                       help="sweep a scenario JSON file over the seed set "
+                            "instead of a registry experiment (scenario "
+                            "sweeps are what --engine fleet vectorizes)")
     sweep.add_argument("--seeds", default="1..5", metavar="SET",
                        help="seed set: '1..10', '1,3,5', or one integer "
                             "(default: 1..5)")
@@ -365,7 +377,7 @@ def _run_jobs(parser, args, specs, command="sweep", command_args=None):
     import signal
     import threading
 
-    from repro.runner import run_grid
+    from repro.runner import run_grid, run_grid_fleet
 
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
@@ -414,8 +426,10 @@ def _run_jobs(parser, args, specs, command="sweep", command_args=None):
             previous_handlers[sig] = signal.signal(sig, _on_signal)
     except ValueError:  # not the main thread (e.g. embedded use)
         pass
+    runner = (run_grid_fleet
+              if getattr(args, "engine", "pool") == "fleet" else run_grid)
     try:
-        report = run_grid(
+        report = runner(
             specs, workers=args.workers, cache=cache,
             timeout_s=args.timeout, retries=args.retries,
             progress=progress, journal=journal, stop_event=stop_event,
@@ -464,9 +478,31 @@ def _cmd_sweep(parser, args) -> int:
         specs, meta_args = _resume_specs(parser, args, "sweep")
         experiment = (args.experiment or meta_args.get("experiment")
                       or (specs[0].experiment if specs else "sweep"))
+    elif args.scenario is not None:
+        if args.experiment is not None:
+            parser.error("give an experiment name or --scenario, not both")
+        import pathlib
+
+        from repro.runner import JobSpec, parse_seeds
+
+        path = pathlib.Path(args.scenario)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            parser.error(f"cannot read scenario {args.scenario}: {exc}")
+        data.setdefault("name", path.stem)
+        try:
+            specs = [
+                JobSpec(scenario=data, seed=seed, duration_s=args.duration)
+                for seed in parse_seeds(args.seeds)
+            ]
+        except ValueError as exc:
+            parser.error(str(exc))
+        experiment = data["name"]
     else:
         if args.experiment is None:
-            parser.error("an experiment name is required (or --resume)")
+            parser.error("an experiment name is required "
+                         "(or --resume / --scenario)")
         experiment = _resolve_experiment(parser, args.experiment)
         try:
             specs = sweep_specs(experiment, seeds=args.seeds,
@@ -607,6 +643,11 @@ def _cmd_perf(parser, args) -> int:
     print(f"wrote {path}", file=sys.stderr)
     if not payload["all_summaries_identical"]:
         print("error: fast path diverged from the scalar reference",
+              file=sys.stderr)
+        return 1
+    fleet = payload.get("fleet")
+    if fleet is not None and not fleet["members_identical"]:
+        print("error: fleet members diverged from the scalar reference",
               file=sys.stderr)
         return 1
     return 0

@@ -374,7 +374,10 @@ class MetricsBoard:
 
     # -- group aggregates -----------------------------------------------------
     def group_avg_runqueue_ratio(self, cpus: Iterable[int]) -> float:
-        cpus = list(cpus)
+        # The balancers pass CpuGroup.cpus tuples; only materialise
+        # other iterables.
+        if type(cpus) is not tuple and type(cpus) is not list:
+            cpus = list(cpus)
         if self.fast:
             # Same left-to-right accumulation as the scalar branch,
             # reading the version-validated ratio cache directly.

@@ -1,0 +1,20 @@
+"""Vectorized fleet engine: N independent machines per tick.
+
+See :mod:`repro.fleet.engine` for the structure-of-arrays layout and
+the eligibility/homogeneity rules, and ``docs/fleet_engine.md`` for the
+user-facing guide.
+"""
+
+from repro.fleet.engine import (
+    FLEET_CHECKPOINT_SCHEMA,
+    FleetEngine,
+    FleetUnsupported,
+    check_fleet_supported,
+)
+
+__all__ = [
+    "FLEET_CHECKPOINT_SCHEMA",
+    "FleetEngine",
+    "FleetUnsupported",
+    "check_fleet_supported",
+]

@@ -23,25 +23,31 @@ from repro.perf.harness import (
     format_bench_report,
     profile_scenario,
     run_benchmarks,
+    run_fleet_benchmark,
     run_scenario,
     strip_timings,
     write_bench_json,
 )
 from repro.perf.scenarios import (
+    FLEET_SCENARIO,
     HEADLINE_SCENARIO,
     REFERENCE_SCENARIOS,
+    FleetPerfScenario,
     PerfScenario,
     scenario_by_name,
 )
 
 __all__ = [
     "BenchScenarioResult",
+    "FLEET_SCENARIO",
+    "FleetPerfScenario",
     "HEADLINE_SCENARIO",
     "PerfScenario",
     "REFERENCE_SCENARIOS",
     "format_bench_report",
     "profile_scenario",
     "run_benchmarks",
+    "run_fleet_benchmark",
     "run_scenario",
     "scenario_by_name",
     "strip_timings",

@@ -21,14 +21,17 @@ from typing import Iterable, Sequence
 
 from repro.api import run_simulation
 from repro.perf.scenarios import (
+    FLEET_SCENARIO,
     HEADLINE_SCENARIO,
     REFERENCE_SCENARIOS,
+    FleetPerfScenario,
     PerfScenario,
 )
 
 #: Schema tag for ``BENCH_perf.json``; bump on layout changes.
-#: v2 added the ``self_profile`` tick-phase breakdown.
-SCHEMA = "repro-perf/2"
+#: v2 added the ``self_profile`` tick-phase breakdown; v3 added the
+#: ``fleet`` section (vectorized N-machines-per-tick benchmark).
+SCHEMA = "repro-perf/3"
 
 #: Simulated duration of the self-profile runs.  Kept short: the
 #: profile is a *breakdown* (phase fractions), not a benchmark, and the
@@ -173,6 +176,107 @@ def profile_scenario(
     }
 
 
+def run_fleet_benchmark(
+    scenario: FleetPerfScenario | None = None,
+    duration_s: float | None = None,
+    repeats: int = 2,
+) -> dict:
+    """Benchmark the fleet engine against the per-job fast path.
+
+    Both sides run the *same* pinned member configuration: the fleet
+    advances all ``n_machines`` systems on one :class:`FleetEngine`;
+    the per-job reference runs one member at a time through the scalar
+    fast path exactly as a ``run_grid`` pool worker would.  The figure
+    of merit is aggregate machine-ticks per wall-clock second — the
+    rate at which a sweep burns down simulated work per process.
+
+    Correctness is asserted, not assumed: the first, middle, and last
+    fleet members' ``scalar_summary()`` dicts must be byte-identical to
+    fresh scalar runs of the same seeds.
+    """
+    from repro.core.policy import Policy as _Policy
+    from repro.fleet import FleetEngine
+    from repro.system import System
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    scenario = scenario if scenario is not None else FLEET_SCENARIO
+    duration = duration_s if duration_s is not None else scenario.duration_s
+    seeds = list(scenario.seeds())
+    policy = _Policy.coerce(scenario.policy)
+
+    def _build(seed: int) -> System:
+        config, workload = scenario.build_member(seed)
+        return System(config, workload, policy=policy)
+
+    # -- fleet side: all machines on one engine -----------------------------
+    fleet_wall = None
+    results = None
+    for _ in range(repeats):
+        engine = FleetEngine([_build(seed) for seed in seeds])
+        start = time.perf_counter()
+        engine.run_for(duration)
+        wall = time.perf_counter() - start
+        fleet_wall = wall if fleet_wall is None else min(fleet_wall, wall)
+        results = engine.results(duration)
+    tick_ms = scenario.build_member(seeds[0])[0].tick_ms
+    ticks = int(round(duration * 1000.0)) // tick_ms
+    machine_ticks = ticks * len(seeds)
+
+    # -- per-job reference: one member per run, scalar fast path ------------
+    check_idx = sorted({0, len(seeds) // 2, len(seeds) - 1})
+    per_job_wall = None
+    reference: dict[int, dict[str, float]] = {}
+    for rep in range(repeats):
+        for idx in check_idx:
+            config, workload = scenario.build_member(seeds[idx])
+            start = time.perf_counter()
+            result = run_simulation(
+                config, workload, policy=policy,
+                duration_s=duration, fast_path=True,
+            )
+            wall = time.perf_counter() - start
+            if per_job_wall is None or wall < per_job_wall:
+                per_job_wall = wall
+            summary = result.scalar_summary()
+            if rep == 0:
+                reference[idx] = summary
+            elif _encode(summary) != _encode(reference[idx]):
+                raise AssertionError(
+                    f"fleet scenario {scenario.name!r}: per-job reference "
+                    f"seed {seeds[idx]} is not deterministic"
+                )
+
+    members_identical = all(
+        _encode(results[idx].scalar_summary()) == _encode(reference[idx])
+        for idx in check_idx
+    )
+    fleet_rate = machine_ticks / fleet_wall
+    per_job_rate = ticks / per_job_wall
+    return {
+        "name": scenario.name,
+        "description": scenario.description,
+        "policy": policy.value,
+        "duration_s": duration,
+        "n_machines": len(seeds),
+        "seeds": [seeds[0], seeds[-1]],
+        "ticks_per_machine": ticks,
+        "machine_ticks": machine_ticks,
+        "checked_members": check_idx,
+        "members_identical": members_identical,
+        "checked_summaries": {
+            str(seeds[idx]): reference[idx] for idx in check_idx
+        },
+        "timing": {
+            "fleet_wall_s": fleet_wall,
+            "fleet_machine_ticks_per_s": fleet_rate,
+            "per_job_best_wall_s": per_job_wall,
+            "per_job_ticks_per_s": per_job_rate,
+            "speedup_vs_per_job": fleet_rate / per_job_rate,
+        },
+    }
+
+
 def run_benchmarks(
     scenarios: Iterable[PerfScenario] | None = None,
     duration_s: float | None = None,
@@ -199,6 +303,7 @@ def run_benchmarks(
         "schema": SCHEMA,
         "all_summaries_identical": all(r.summary_identical for r in results),
         "self_profile": profile_scenario(headline_scenario, duration_s),
+        "fleet": run_fleet_benchmark(duration_s=duration_s, repeats=repeats),
         "headline": {
             "name": headline.name,
             "timing": {
@@ -235,7 +340,7 @@ def strip_timings(payload: dict) -> dict:
     Everything except the ``timing`` sub-objects must be identical
     between two runs of the same scenario set on any machine.
     """
-    return {
+    out = {
         "schema": payload["schema"],
         "all_summaries_identical": payload["all_summaries_identical"],
         "headline": {"name": payload["headline"]["name"]},
@@ -244,6 +349,11 @@ def strip_timings(payload: dict) -> dict:
             for scenario in payload["scenarios"]
         ],
     }
+    if "fleet" in payload:
+        out["fleet"] = {
+            k: v for k, v in payload["fleet"].items() if k != "timing"
+        }
+    return out
 
 
 def write_bench_json(payload: dict, path: str = "BENCH_perf.json") -> str:
@@ -274,6 +384,16 @@ def format_bench_report(payload: dict) -> str:
         f"{h['timing']['fast_ticks_per_s']:.0f} ticks/s, "
         f"{h['timing']['speedup_vs_scalar']:.2f}x vs scalar"
     )
+    fleet = payload.get("fleet")
+    if fleet:
+        t = fleet["timing"]
+        lines.append(
+            f"fleet ({fleet['name']}): {fleet['n_machines']} machines, "
+            f"{t['fleet_machine_ticks_per_s']:.0f} machine-ticks/s "
+            f"({t['speedup_vs_per_job']:.2f}x vs per-job fast path), "
+            f"members identical: "
+            f"{'yes' if fleet['members_identical'] else 'NO — MISMATCH'}"
+        )
     profile = payload.get("self_profile")
     if profile:
         lines.append(

@@ -15,9 +15,14 @@ from dataclasses import dataclass
 
 from repro.config import SystemConfig
 from repro.core.policy import Policy
+from repro.cpu.power import PowerModelParams
 from repro.cpu.throttle import ThrottleConfig
 from repro.cpu.topology import MachineSpec
-from repro.workloads.generator import WorkloadSpec, mixed_table2_workload
+from repro.workloads.generator import (
+    WorkloadSpec,
+    mixed_table2_workload,
+    steady_mix_workload,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -115,6 +120,57 @@ REFERENCE_SCENARIOS: tuple[PerfScenario, ...] = (
         max_power_per_cpu_w=20.0,
         throttle_mode="dvfs",
     ),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class FleetPerfScenario:
+    """A pinned fleet benchmark: N identical machines differing by seed.
+
+    The member configuration is fleet-eligible by construction — noise
+    sigmas pinned to zero, no throttling or power caps — and uses slow
+    housekeeping cadences (long timeslices and balance intervals) so
+    the per-tick work is dominated by execute/thermal, the phases the
+    fleet engine vectorizes across the machine axis.
+    """
+
+    name: str
+    description: str
+    policy: Policy
+    duration_s: float
+    n_machines: int = 64
+    first_seed: int = 1
+
+    def seeds(self) -> range:
+        return range(self.first_seed, self.first_seed + self.n_machines)
+
+    def build_member(self, seed: int) -> tuple[SystemConfig, WorkloadSpec]:
+        """Fresh (config, workload) for the member with this seed."""
+        config = SystemConfig(
+            power=PowerModelParams(noise_sigma=0.0),
+            counter_jitter_sigma=0.0,
+            max_power_per_cpu_w=60.0,
+            timeslice_ms=2000,
+            balance_interval_ms=4800,
+            idle_balance_interval_ms=50,
+            hot_check_interval_ms=2000,
+            sample_interval_s=5.0,
+            seed=seed,
+        )
+        return config, steady_mix_workload(4)
+
+
+#: The pinned fleet benchmark: the ``fleet`` section of
+#: ``BENCH_perf.json`` and the target of the ≥10x aggregate-throughput
+#: goal versus the per-job fast path.
+FLEET_SCENARIO = FleetPerfScenario(
+    name="fleet-steady-64",
+    description=(
+        "64 x 16-CPU SMT machines, steady 16-task mix, energy policy, "
+        "seeds 1..64, one vectorized FleetEngine"
+    ),
+    policy=Policy.ENERGY,
+    duration_s=60.0,
 )
 
 

@@ -14,7 +14,11 @@ The pieces, bottom-up:
   resume, graceful drain — see :mod:`repro.resilience`) with serial
   fallback;
 * :mod:`repro.runner.grid` — batch grid-file expansion for
-  ``python -m repro batch``.
+  ``python -m repro batch``;
+* :mod:`repro.runner.fleet_grid` — :func:`run_grid_fleet`, the
+  vectorized front end: fleet-eligible scenario jobs advance N machines
+  per tick on one :class:`repro.fleet.FleetEngine`, everything else
+  falls back to the pool (``python -m repro sweep --engine fleet``).
 
 Typical library use::
 
@@ -34,6 +38,7 @@ from repro.runner.cache import (
     default_cache_dir,
 )
 from repro.runner.executor import GridReport, JobOutcome, execute_spec, run_grid
+from repro.runner.fleet_grid import run_grid_fleet
 from repro.runner.grid import GridEntry, expand_grid, load_grid
 from repro.runner.spec import JobSpec, parse_seeds, sweep_specs
 
@@ -51,5 +56,6 @@ __all__ = [
     "load_grid",
     "parse_seeds",
     "run_grid",
+    "run_grid_fleet",
     "sweep_specs",
 ]

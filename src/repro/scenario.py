@@ -11,11 +11,20 @@ A scenario file describes machine, workload, policy, and duration:
       "duration_s": 300
     }
 
-Workload builders: ``mixed_table2`` (copies), ``single_program``
-(program, n), ``homogeneity`` (memrw/pushpop/bitcnts counts),
-``short_tasks`` (slots, job_s), or an explicit ``tasks`` list of
-``{program, arrival_s?, solo_job_s?, respawn?, nice?, cpus_allowed?,
-power_cap_w?}`` objects.
+Workload builders: ``mixed_table2`` (copies), ``steady_mix`` (copies,
+wobble_interval_s), ``single_program`` (program, n), ``homogeneity``
+(memrw/pushpop/bitcnts counts), ``short_tasks`` (slots, job_s), or an
+explicit ``tasks`` list of ``{program, arrival_s?, solo_job_s?,
+respawn?, nice?, cpus_allowed?, power_cap_w?}`` objects.
+
+Optional cadence / noise keys (all pass through to
+:class:`~repro.config.SystemConfig`, defaults unchanged when omitted):
+``tick_ms``, ``timeslice_ms``, ``balance_interval_ms``,
+``idle_balance_interval_ms``, ``hot_check_interval_ms``,
+``sample_interval_s``, ``smt_thread_factor``, ``counter_jitter_sigma``,
+and ``power: {"noise_sigma": ...}``.  Fleet-eligible scenarios (see
+:mod:`repro.fleet`) pin ``counter_jitter_sigma`` and ``noise_sigma``
+to 0.
 
 Used by ``python -m repro run-file <scenario.json>`` and directly via
 :func:`load_scenario` / :func:`run_scenario_dict`.
@@ -32,6 +41,7 @@ from repro.config import SystemConfig
 from repro.cpu.thermal import ThermalParams
 from repro.cpu.throttle import ThrottleConfig
 from repro.cpu.topology import MachineSpec
+from repro.cpu.power import PowerModelParams
 from repro.workloads.generator import (
     TaskSpec,
     WorkloadSpec,
@@ -39,6 +49,7 @@ from repro.workloads.generator import (
     mixed_table2_workload,
     short_task_storm,
     single_program_workload,
+    steady_mix_workload,
 )
 from repro.workloads.programs import program
 
@@ -122,6 +133,11 @@ def _parse_workload(spec: dict) -> WorkloadSpec:
     builder = spec.get("builder")
     if builder == "mixed_table2":
         return mixed_table2_workload(int(spec.get("copies", 3)))
+    if builder == "steady_mix":
+        return steady_mix_workload(
+            int(spec.get("copies", 4)),
+            wobble_interval_s=float(spec.get("wobble_interval_s", 10.0)),
+        )
     if builder == "single_program":
         return single_program_workload(
             spec["program"], int(spec.get("n", 1))
@@ -147,6 +163,29 @@ def parse_scenario(data: dict) -> Scenario:
         scope=throttle_spec.get("scope", "logical"),
         mode=throttle_spec.get("mode", "hlt"),
     )
+    kwargs = {}
+    # Cadence / noise knobs pass straight through to SystemConfig when
+    # present; omitted keys keep the dataclass defaults (so existing
+    # scenario files parse to the exact same config as before).  The
+    # fleet engine's eligibility rules read these — a fleet-ready
+    # scenario pins noise_sigma and counter_jitter_sigma to 0.
+    for key, conv in (
+        ("tick_ms", int),
+        ("timeslice_ms", int),
+        ("balance_interval_ms", int),
+        ("idle_balance_interval_ms", int),
+        ("hot_check_interval_ms", int),
+        ("sample_interval_s", float),
+        ("smt_thread_factor", float),
+        ("counter_jitter_sigma", float),
+    ):
+        if key in data:
+            kwargs[key] = conv(data[key])
+    power_spec = data.get("power")
+    if power_spec is not None:
+        kwargs["power"] = PowerModelParams(
+            noise_sigma=float(power_spec.get("noise_sigma", 0.015)),
+        )
     config = SystemConfig(
         machine=machine,
         thermal=_parse_thermal(data.get("thermal"), machine.n_packages),
@@ -154,6 +193,7 @@ def parse_scenario(data: dict) -> Scenario:
         max_power_per_cpu_w=data.get("max_power_per_cpu_w"),
         throttle=throttle,
         seed=int(data.get("seed", 1)),
+        **kwargs,
     )
     policy = data.get("policy", "energy")
     if policy not in ("energy", "baseline"):

@@ -22,6 +22,8 @@ kernel integration:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from math import cos as _cos, log as _log, sin as _sin, sqrt as _sqrt
+from random import TWOPI as _TWOPI
 from time import perf_counter
 
 import numpy as np
@@ -73,13 +75,37 @@ _DERIVED_ATTRS = (
     "tick",            # profiled-tick method shadow (bound to the old self)
     "_bank_rows",      # views into _counts_mx (numpy pickles views as copies)
     "_pmc_gauss",      # bound methods of the per-CPU jitter streams
+    "_pmc_rngs",       # the jitter stream objects themselves
     "_meter_gauss",    # bound methods of the per-package meter streams
     "_mix_cache",      # id()-keyed memo of dynamic power per mix
     "_tick_cache",     # id()-keyed memo of per-(mix, cycles) tick energy
     "_cycles_for_dt",  # per-tick-length memo
     "_rc_decay_dt",    # per-tick-length memo
     "_rc_decays",      # per-tick-length memo
+    "_sib1",           # single-SMT-sibling index table (from _siblings)
+    "_hk_tables",      # housekeeping fire tables (from the tick periods)
+    "_all_forked",     # true once every workload slot has forked
+    "_exec_memo",      # per-CPU (mix, cycles, entry) memo over _tick_cache
+    "_jit_scratch",    # per-tick counter-credit scratch row
+    "_pkg_pairs",      # two-CPU package index pairs (from _pkg_cpus)
 )
+
+#: Housekeeping fire tables repeat with period lcm(balance, idle, hot)
+#: ticks; beyond this many entries the table is not worth the memory and
+#: :meth:`System._housekeeping` falls back to the plain modulo loop.
+_HK_TABLE_MAX = 16384
+
+
+def _sib1_table(siblings: list[tuple[int, ...]]) -> list[int]:
+    """Per-CPU single-sibling index for the fast execution path.
+
+    ``sib1[c]`` is the lone SMT sibling of ``c`` when the core runs two
+    threads, ``-1`` when ``c`` has no sibling, and ``-2`` when a core
+    runs more than two threads (the general loop handles that case).
+    """
+    return [
+        s[0] if len(s) == 1 else (-1 if not s else -2) for s in siblings
+    ]
 
 
 @dataclass
@@ -261,8 +287,13 @@ class System:
         # Bound gauss methods of the per-CPU PMC jitter streams — the
         # factory caches streams, so these are the very same RNG objects
         # the counter banks draw from.
-        self._pmc_gauss = [
-            self.rng.stream(f"pmc:{c}").gauss for c in range(self.n_cpus)
+        self._pmc_rngs = [self.rng.stream(f"pmc:{c}") for c in range(self.n_cpus)]
+        self._pmc_gauss = [r.gauss for r in self._pmc_rngs]
+        self._sib1 = _sib1_table(self._siblings)
+        self._exec_memo: list[tuple | None] = [None] * self.n_cpus
+        self._jit_scratch = np.zeros(N_EVENTS)
+        self._pkg_pairs = [
+            cpus if len(cpus) == 2 else None for cpus in self._pkg_cpus
         ]
         # The container manager only ever holds tasks whose slot carries a
         # power cap, and respawns reuse the same slot specs, so a capless
@@ -319,6 +350,8 @@ class System:
         self._idle_balance_ticks = max(1, config.idle_balance_interval_ms // tick)
         self._hot_check_ticks = max(1, config.hot_check_interval_ms // tick)
         self._sample_every = max(1, int(config.sample_interval_s * 1000) // tick)
+        self._hk_tables: list[tuple[tuple[int, int], ...]] | None = None
+        self._all_forked = False
 
     # ------------------------------------------------------------------------
     # Checkpointing
@@ -349,10 +382,17 @@ class System:
         for c, bank in enumerate(self.banks):
             bank.bind_row(self._counts_mx[c])
         self._bank_rows = [self._counts_mx[c] for c in range(self.n_cpus)]
-        self._pmc_gauss = [
-            self.rng.stream(f"pmc:{c}").gauss for c in range(self.n_cpus)
-        ]
+        self._pmc_rngs = [self.rng.stream(f"pmc:{c}") for c in range(self.n_cpus)]
+        self._pmc_gauss = [r.gauss for r in self._pmc_rngs]
         self._meter_gauss = [r.gauss for r in self._meter_rngs]
+        self._sib1 = _sib1_table(self._siblings)
+        self._hk_tables = None
+        self._all_forked = all(slot.forked for slot in self.slots)
+        self._exec_memo = [None] * self.n_cpus
+        self._jit_scratch = np.zeros(N_EVENTS)
+        self._pkg_pairs = [
+            cpus if len(cpus) == 2 else None for cpus in self._pkg_cpus
+        ]
         self._mix_cache = {}
         self._tick_cache = TickEnergyCache(
             self.estimator, self.power, self.exec_model.freq_hz
@@ -509,9 +549,18 @@ class System:
         self._blocked = still
 
     def _fork_due(self, now_ms: int) -> None:
+        # Slots fork exactly once; after the last arrival this is a pure
+        # flag test on every subsequent tick.
+        if self._all_forked:
+            return
+        pending = False
         for slot in self.slots:
-            if not slot.forked and slot.spec.arrival_s * 1000 <= now_ms:
-                self._fork(slot, now_ms)
+            if not slot.forked:
+                if slot.spec.arrival_s * 1000 <= now_ms:
+                    self._fork(slot, now_ms)
+                else:
+                    pending = True
+        self._all_forked = not pending
 
     def _fork(self, slot: SlotState, now_ms: int) -> Task:
         """Create a new task for a slot and place it via the policy (§4.6)."""
@@ -688,10 +737,19 @@ class System:
         throttled = self.throttle.throttled
         est_power = self._est_power
         dyn_power = self._dyn_power
-        for c in range(n_cpus):
-            running[c] = rq_list[c].current is not None and not throttled[c]
-            est_power[c] = 0.0
-            dyn_power[c] = 0.0
+        # CPUs only ever throttle when hlt-throttling is active (DVFS
+        # rescales instead of halting), so the flag test can be hoisted.
+        use_throttled = self.config.throttle.enabled and not self._dvfs_mode
+        if use_throttled:
+            for c in range(n_cpus):
+                running[c] = rq_list[c].current is not None and not throttled[c]
+                est_power[c] = 0.0
+                dyn_power[c] = 0.0
+        else:
+            for c in range(n_cpus):
+                running[c] = rq_list[c].current is not None
+                est_power[c] = 0.0
+                dyn_power[c] = 0.0
         self._total_ticks += 1
         cached = self._cycles_for_dt
         if cached is None or cached[0] != tick_s:
@@ -715,9 +773,19 @@ class System:
         use_containers = self._has_power_caps
         cache_get = self._tick_cache.cache.get
         cache_miss = self._tick_cache.miss
+        pmc_rngs = self._pmc_rngs
         pmc_gauss = self._pmc_gauss
+        # The fault injector perturbs counters by shadowing the jitter
+        # streams' gauss; with one installed, draws must go through the
+        # (possibly wrapped) bound methods instead of the inline copy.
+        inline_gauss = self.fault_injector is None
+        sib1 = self._sib1
+        exec_memo = self._exec_memo
+        jit_scratch = self._jit_scratch
         jitter_sigma = self.config.counter_jitter_sigma
+        dvfs_on = self._dvfs_mode
         base_w = self.estimator.base_w
+        bwts = base_w * tick_s
         retired = self.instructions_retired
         retired_get = retired.get
         for c in range(n_cpus):
@@ -728,11 +796,22 @@ class System:
             task = rq.current
             if task.ready_since_ms is not None:
                 task.note_dispatched(now_ms)
-            n_busy_threads = 1
-            for s in siblings[c]:
-                if running[s]:
-                    n_busy_threads += 1
-            sibling_busy = n_busy_threads > 1
+            # Two-thread cores (the common topology) read their lone
+            # sibling directly; -1 means no SMT, -2 falls back to the
+            # general scan.
+            s = sib1[c]
+            if s >= 0:
+                sibling_busy = running[s]
+                n_busy_threads = 2 if sibling_busy else 1
+            elif s == -1:
+                sibling_busy = False
+                n_busy_threads = 1
+            else:
+                n_busy_threads = 1
+                for s in siblings[c]:
+                    if running[s]:
+                        n_busy_threads += 1
+                sibling_busy = n_busy_threads > 1
             # Inlined Behavior.step common case (no wobble resample, no
             # phase expiry): take the cached mix and advance the two
             # timers, exactly as step() would.  Everything else falls
@@ -749,13 +828,23 @@ class System:
             else:
                 mix = beh.step(tick_s)
             cycles = cycles_smt if sibling_busy else cycles_solo
-            scale = freq_scale[c]
+            # freq_scale stays pinned at 1.0 unless the DVFS controller
+            # is driving it, so the read can be skipped outright.
+            scale = freq_scale[c] if dvfs_on else 1.0
             if scale < 1.0:
                 # DVFS: work slows linearly (power is rescaled below).
                 cycles *= scale
-            entry = cache_get((id(mix), cycles))
-            if entry is None or entry[0] is not mix:
-                entry = cache_miss(mix, cycles)
+            # One-entry memo per CPU in front of the shared tick cache:
+            # mixes are stable across many ticks, so the identity check
+            # usually short-circuits the tuple build + dict probe.
+            memo = exec_memo[c]
+            if memo is not None and memo[0] is mix and memo[1] == cycles:
+                entry = memo[2]
+            else:
+                entry = cache_get((id(mix), cycles))
+                if entry is None or entry[0] is not mix:
+                    entry = cache_miss(mix, cycles)
+                exec_memo[c] = (mix, cycles, entry)
             dyn_w = entry[3]
             if sibling_busy:
                 dyn_w *= smt_factor
@@ -764,9 +853,25 @@ class System:
                 dyn_w *= dynamic_power_scale(scale)
             # Inlined CounterBank.draw_jitter — same condition, same
             # values (the branch is max(0.0, x) spelled out), same RNG
-            # stream.
+            # stream, with random.gauss itself inlined: the identical
+            # Box-Muller expressions on the same Random state, and
+            # ``0.0 + z*sigma == z*sigma`` bit for bit (the +0.0 of the
+            # library's mu-add only normalises -0.0, which the outer
+            # 1.0+ add does anyway).
             if jitter_sigma and cycles > 0:
-                jitter = 1.0 + pmc_gauss[c](0.0, jitter_sigma)
+                if inline_gauss:
+                    rng = pmc_rngs[c]
+                    z = rng.gauss_next
+                    rng.gauss_next = None
+                    if z is None:
+                        u = rng.random
+                        x2pi = u() * _TWOPI
+                        g2rad = _sqrt(-2.0 * _log(1.0 - u()))
+                        z = _cos(x2pi) * g2rad
+                        rng.gauss_next = _sin(x2pi) * g2rad
+                    jitter = 1.0 + z * jitter_sigma
+                else:
+                    jitter = 1.0 + pmc_gauss[c](0.0, jitter_sigma)
                 if jitter < 0.0:
                     jitter = 0.0
             else:
@@ -778,15 +883,18 @@ class System:
             # bit).
             base_increments = entry[1]
             row = bank_rows[c]
-            row += base_increments if jitter == 1.0 else base_increments * jitter
+            if jitter == 1.0:
+                row += base_increments
+            else:
+                # Same product values through a preallocated scratch
+                # row instead of a fresh temporary per credit.
+                np.multiply(base_increments, jitter, out=jit_scratch)
+                row += jit_scratch
             scale_factor = jitter if scale == 1.0 else jitter * (scale * scale)
             # Inlined LinearEnergyEstimator.tick_energy_j — same
             # expression, same evaluation order, so the two paths agree
             # bit for bit.
-            est_e = (
-                base_w * tick_s * (1.0 / n_busy_threads)
-                + entry[2] * scale_factor * 1e-9
-            )
+            est_e = bwts * (1.0 / n_busy_threads) + entry[2] * scale_factor * 1e-9
             if use_containers and len(containers):
                 containers.charge(task, est_e)
             interval_energy[c] += est_e
@@ -800,7 +908,15 @@ class System:
             if task.cold_instructions_remaining > 0.0:
                 instructions = self._apply_cache_warmup(task, instructions)
             retired[name] = retired_get(name, 0.0) + instructions
-            job_done = task.retire(instructions)
+            # Inlined Task.retire; its non-negativity guard is
+            # unreachable here (instructions = cycles * ipc >= 0).
+            rem = task.instructions_remaining - instructions
+            task.instructions_remaining = rem
+            if rem <= 0:
+                task.jobs_completed += 1
+                job_done = True
+            else:
+                job_done = False
             task.timeslice_remaining_ms -= tick_ms
             if task.run_remaining_s is not None:
                 task.run_remaining_s -= tick_s
@@ -1000,27 +1116,52 @@ class System:
         est_pkg_power = self._est_pkg_power
         true_rc = self.true_rc
         est_rc = self.est_rc
-        meter_gauss = self._meter_gauss
+        meter_rngs = self._meter_rngs
         power_params = self.power.params
         base_active_w = power_params.base_active_w
         noise_sigma = power_params.noise_sigma
+        pkg_pairs = self._pkg_pairs
         for pkg, cpus in enumerate(self._pkg_cpus):
             # Single pass accumulating what sample_package_power_w and
             # the estimate sum would compute; starting from 0.0 matches
             # sum()'s int-0 start exactly (the first add is exact either
-            # way) and the left-to-right order is identical.
+            # way) and the left-to-right order is identical.  Two-CPU
+            # packages (the common topology) unroll the scans.
             dyn_sum = 0.0
             est_sum = 0.0
-            all_halted = True
-            for c in cpus:
-                if running[c]:
-                    all_halted = False
-                    dyn_sum += dyn_power[c]
-                    est_sum += est_power[c]
+            pair = pkg_pairs[pkg]
+            if pair is not None:
+                c0, c1 = pair
+                r0 = running[c0]
+                r1 = running[c1]
+                all_halted = not (r0 or r1)
+                if r0:
+                    dyn_sum += dyn_power[c0]
+                    est_sum += est_power[c0]
+                if r1:
+                    dyn_sum += dyn_power[c1]
+                    est_sum += est_power[c1]
+            else:
+                all_halted = True
+                for c in cpus:
+                    if running[c]:
+                        all_halted = False
+                        dyn_sum += dyn_power[c]
+                        est_sum += est_power[c]
             # Inlined PowerModel.sample_package_power_w — same
-            # expression, same RNG stream.
+            # expression, same RNG stream, with random.gauss inlined the
+            # same way as the jitter draw in _execute_fast.
             clean = halted_pkg_w if all_halted else base_active_w + dyn_sum
-            true_w = clean * (1.0 + meter_gauss[pkg](0.0, noise_sigma))
+            rng = meter_rngs[pkg]
+            z = rng.gauss_next
+            rng.gauss_next = None
+            if z is None:
+                u = rng.random
+                x2pi = u() * _TWOPI
+                g2rad = _sqrt(-2.0 * _log(1.0 - u()))
+                z = _cos(x2pi) * g2rad
+                rng.gauss_next = _sin(x2pi) * g2rad
+            true_w = clean * (1.0 + z * noise_sigma)
             decay = decays[pkg]
             # Inlined ThermalRC.step_with_decay (both RCs) — same
             # expression on the same cached operands.
@@ -1031,17 +1172,25 @@ class System:
             pkg_temp[pkg] = true_temp
             if all_halted:
                 est_w = halted_pkg_w
-                for c in cpus:
-                    # Fully halted package: each thread carries its share
-                    # of the residual hlt draw (13.6 W at idle).
-                    thermal_in[c] = halted_share_w
+                # Fully halted package: each thread carries its share
+                # of the residual hlt draw (13.6 W at idle).
+                if pair is not None:
+                    thermal_in[c0] = halted_share_w
+                    thermal_in[c1] = halted_share_w
+                else:
+                    for c in cpus:
+                        thermal_in[c] = halted_share_w
             else:
                 est_w = est_sum
-                for c in cpus:
-                    # Idle thread beside a busy sibling contributes
-                    # nothing extra: the active thread's estimate already
-                    # covers the package's static power.
-                    thermal_in[c] = est_power[c] if running[c] else 0.0
+                # Idle thread beside a busy sibling contributes
+                # nothing extra: the active thread's estimate already
+                # covers the package's static power.
+                if pair is not None:
+                    thermal_in[c0] = est_power[c0] if r0 else 0.0
+                    thermal_in[c1] = est_power[c1] if r1 else 0.0
+                else:
+                    for c in cpus:
+                        thermal_in[c] = est_power[c] if running[c] else 0.0
             est_pkg_power[pkg] = est_w
             rc = est_rc[pkg]
             target = rc._ambient_c + est_w * rc._r_k_per_w
@@ -1079,8 +1228,70 @@ class System:
                 self.tracer.event(EventRecord(clock.now_ms, kind, cpu=c))
 
     # -- periodic policy work -----------------------------------------------------
+    def _build_hk_tables(self) -> tuple[tuple[tuple[int, int], ...], ...]:
+        """Memoise which CPUs' periodic work fires on which tick.
+
+        The stagger pattern repeats with period lcm(balance, idle, hot)
+        ticks, so each residue maps to a fixed candidate list of
+        ``(cpu, mask)`` pairs (mask bits: 1 = balance fires, 2 = idle
+        balance candidate, 4 = hot check fires).  CPUs with no work that
+        tick never enter the loop.  An empty tuple marks a period too
+        long to table; :meth:`_housekeeping` then keeps the plain
+        modulo loop.
+        """
+        from math import lcm
+
+        b = self._balance_ticks
+        i = self._idle_balance_ticks
+        h = self._hot_check_ticks
+        period = lcm(b, i, h)
+        if period > _HK_TABLE_MAX:
+            self._hk_tables = ()
+            return ()
+        tables = []
+        for r in range(period):
+            entries = []
+            for c in range(self.n_cpus):
+                mask = 0
+                if (r + c * 3) % b == 0:
+                    mask |= 1
+                if (r + c) % i == 0:
+                    mask |= 2
+                if (r + c) % h == 0:
+                    mask |= 4
+                if mask:
+                    entries.append((c, mask))
+            tables.append(tuple(entries))
+        self._hk_tables = tuple(tables)
+        return self._hk_tables
+
     def _housekeeping(self, clock: Clock) -> None:
         ticks = clock.ticks
+        tables = self._hk_tables
+        if tables is None:
+            tables = self._build_hk_tables()
+        if tables:
+            # Same calls in the same ascending-CPU order as the modulo
+            # loop below; the idle-balance runqueue test still happens
+            # lazily at this CPU's position in the sequence.
+            fires = tables[ticks % len(tables)]
+            if not fires:
+                return
+            observer = self.observer
+            hist = observer.balance_hist if observer is not None else None
+            runqueues = self.runqueues
+            policy = self.policy
+            for c, mask in fires:
+                if (mask & 1) or (mask & 2 and not runqueues[c].nr):
+                    if hist is None:
+                        policy.periodic_balance(c)
+                    else:
+                        t0 = perf_counter()
+                        policy.periodic_balance(c)
+                        hist.observe(perf_counter() - t0)
+                if mask & 4:
+                    policy.check_active_migration(c)
+            return
         observer = self.observer
         hist = observer.balance_hist if observer is not None else None
         for c in range(self.n_cpus):

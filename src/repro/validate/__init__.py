@@ -11,13 +11,22 @@ Three complementary instruments over the same simulator:
   SMT-sibling relabeling metamorphic check;
 * :mod:`repro.validate.faults` — seeded perturbation of counter reads,
   counter registers, migration requests, and thermal coefficients,
-  asserting graceful degradation.
+  asserting graceful degradation;
+* :mod:`repro.validate.fleet` — lockstep replay of the vectorized
+  fleet engine against N scalar twins with per-machine
+  first-divergence reporting.
 
 ``python -m repro validate`` (see :mod:`repro.validate.runner`) runs
 the full matrix over the pinned perf scenarios.
 """
 
 from repro.validate.faults import FaultInjector, FaultPlan, load_fault_plans
+from repro.validate.fleet import (
+    FleetOracleReport,
+    MemberDivergence,
+    fleet_lockstep,
+    fleet_oracle_check,
+)
 from repro.validate.invariants import (
     FAULT_KINDS,
     REGISTRY,
@@ -47,15 +56,19 @@ __all__ = [
     "FAULT_KINDS",
     "FaultInjector",
     "FaultPlan",
+    "FleetOracleReport",
     "Invariant",
     "InvariantChecker",
     "InvariantViolation",
+    "MemberDivergence",
     "MetamorphicReport",
     "OracleReport",
     "REGISTRY",
     "ValidationConfig",
     "Violation",
     "differential_replay",
+    "fleet_lockstep",
+    "fleet_oracle_check",
     "format_validation_report",
     "golden_trace",
     "invariant_by_name",

@@ -203,12 +203,30 @@ def run_validation(
             for plan in plans
         ]
         scenario_reports.append(entry)
+
+    # -- fleet engine vs scalar twins, per-member lockstep ------------------
+    from repro.validate.fleet import fleet_oracle_check
+
+    fleet_duration = (
+        duration_s if duration_s is not None else SHORT_DURATION_S
+    )
+    fleet_report = fleet_oracle_check(
+        duration_s=fleet_duration, probe_every=probe_every
+    )
+    for divergence in fleet_report.divergences:
+        breaches.append(f"fleet/oracle: {divergence.describe()}")
+    if not fleet_report.divergences and not fleet_report.summaries_identical:
+        breaches.append(
+            "fleet/oracle: per-tick probes agree but final member "
+            "summaries differ"
+        )
     return {
         "schema": SCHEMA,
         "ok": not breaches,
         "breaches": breaches,
         "fault_plans": [p.name for p in plans],
         "scenarios": scenario_reports,
+        "fleet": fleet_report.to_dict(),
     }
 
 
@@ -248,6 +266,13 @@ def format_validation_report(payload: dict) -> str:
         )
         if fault_bits:
             lines.append(f"{'':<22} faults: {'  '.join(fault_bits)}")
+    fleet = payload.get("fleet")
+    if fleet is not None:
+        lines.append(
+            f"{'fleet-oracle':<22} {fleet['n_machines']} machines x "
+            f"{fleet['n_ticks']} ticks  "
+            f"{'identical' if fleet['identical'] else 'DIVERGED'}"
+        )
     if payload["breaches"]:
         lines.append("")
         lines.append(f"{len(payload['breaches'])} breach(es):")

@@ -121,6 +121,28 @@ def mixed_table2_workload(copies: int = 3) -> WorkloadSpec:
     return WorkloadSpec(name=f"mixed-table2-x{copies}", tasks=tuple(tasks))
 
 
+def steady_mix_workload(
+    copies: int = 4, wobble_interval_s: float = 10.0
+) -> WorkloadSpec:
+    """Steady-state mix for fleet throughput runs: the four static
+    Table 2 programs with a coarse wobble-resample interval.
+
+    Long-running batch tasks re-draw their activity wobble rarely, so a
+    tick is almost always the pure fast-path math; this is the workload
+    the pinned fleet benchmark scenarios run on both engines (scalar
+    baseline and fleet), keeping the comparison apples to apples.
+    """
+    from dataclasses import replace as _replace
+
+    statics = ("bitcnts", "memrw", "aluadd", "pushpop")
+    tasks = [
+        TaskSpec(program=_replace(program(name), wobble_interval_s=wobble_interval_s))
+        for name in statics
+        for _ in range(copies)
+    ]
+    return WorkloadSpec(name=f"steady-mix-x{copies}", tasks=tuple(tasks))
+
+
 def homogeneity_scenario(n_memrw: int, n_pushpop: int, n_bitcnts: int) -> WorkloadSpec:
     """One Figure 8 scenario: ``#memrw / #pushpop / #bitcnts``."""
     tasks = (

@@ -74,6 +74,10 @@ class ProgramSpec:
         Instructions per cycle for progress accounting.
     wobble_sigma:
         Within-phase activity wobble (drives Table 1 averages).
+    wobble_interval_s:
+        Busy time between wobble resamples (Table 1's successive
+        timeslices).  Coarser intervals give steadier power draw; the
+        fleet perf scenarios use them to model steady-state tasks.
     spike_probability:
         For ``spiky`` programs: chance of an excursion after each base
         dwell.
@@ -92,6 +96,7 @@ class ProgramSpec:
     flavor: tuple[float, ...]
     ipc: float
     wobble_sigma: float = 0.01
+    wobble_interval_s: float = 0.1
     spike_probability: float = 0.0
     interactive: tuple[float, float] | None = None
     solo_job_s: float = 30.0
@@ -139,7 +144,10 @@ class ProgramSpec:
                     duration_jitter=phase.duration_jitter,
                 )
             )
-        common = dict(wobble_sigma=self.wobble_sigma)
+        common = dict(
+            wobble_sigma=self.wobble_sigma,
+            wobble_interval_s=self.wobble_interval_s,
+        )
         if self.kind == "static":
             return StaticBehavior(specs[0], rng, **common)
         if self.kind == "cyclic":

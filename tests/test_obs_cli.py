@@ -82,7 +82,7 @@ class TestEnvelopeOnAllSubcommands:
                      "--output", str(tmp_path / "bench.json"), "--json"])
         assert code == 0
         payload = _envelope(capsys)
-        assert payload["schema"] == "repro-perf/2"
+        assert payload["schema"] == "repro-perf/3"
 
     def test_validate_json(self, capsys):
         code = main(["validate", "--scenario", FAST_SCENARIO,

@@ -112,7 +112,7 @@ class TestBenchPayloadDeterminism:
 
     def test_payload_shape(self, payloads):
         payload = payloads[0]
-        assert payload["schema"] == "repro-perf/2"
+        assert payload["schema"] == "repro-perf/3"
         assert payload["headline"]["name"] == HEADLINE_SCENARIO
         timing = payload["headline"]["timing"]
         assert set(timing) == {"fast_ticks_per_s", "scalar_ticks_per_s",

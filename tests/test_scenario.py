@@ -130,3 +130,57 @@ class TestRunning:
         summary = json.loads(capsys.readouterr().out)
         assert summary["policy"] == "baseline"
         assert summary["machine"]["n_cpus"] == 2
+
+
+class TestCadenceAndNoiseKnobs:
+    """The optional SystemConfig pass-through keys (fleet scenarios pin
+    the noise sigmas to zero through these)."""
+
+    def test_defaults_unchanged_when_omitted(self):
+        config = parse_scenario(BASE).config
+        assert config.tick_ms == 10
+        assert config.timeslice_ms == 100
+        assert config.balance_interval_ms == 240
+        assert config.counter_jitter_sigma == 0.01
+        assert config.power.noise_sigma == 0.015
+
+    def test_cadence_keys_pass_through(self):
+        scenario = parse_scenario({
+            **BASE,
+            "tick_ms": 20,
+            "timeslice_ms": 2000,
+            "balance_interval_ms": 4800,
+            "idle_balance_interval_ms": 60,
+            "hot_check_interval_ms": 2000,
+            "sample_interval_s": 5.0,
+            "smt_thread_factor": 0.7,
+        })
+        config = scenario.config
+        assert config.tick_ms == 20
+        assert config.timeslice_ms == 2000
+        assert config.balance_interval_ms == 4800
+        assert config.idle_balance_interval_ms == 60
+        assert config.hot_check_interval_ms == 2000
+        assert config.sample_interval_s == 5.0
+        assert config.smt_thread_factor == 0.7
+
+    def test_noise_keys_pass_through(self):
+        scenario = parse_scenario({
+            **BASE,
+            "counter_jitter_sigma": 0.0,
+            "power": {"noise_sigma": 0.0},
+        })
+        assert scenario.config.counter_jitter_sigma == 0.0
+        assert scenario.config.power.noise_sigma == 0.0
+
+    def test_steady_mix_builder(self):
+        scenario = parse_scenario({
+            **BASE,
+            "workload": {"builder": "steady_mix", "copies": 2,
+                         "wobble_interval_s": 20.0},
+        })
+        assert scenario.workload.name == "steady-mix-x2"
+        assert len(scenario.workload.tasks) == 8  # 4 programs x 2 copies
+        assert all(
+            t.program.wobble_interval_s == 20.0 for t in scenario.workload.tasks
+        )

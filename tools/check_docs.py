@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Check the docs against the code and the committed benchmark numbers.
+
+Two classes of drift have bitten this repo before, and both are now
+build failures instead of review comments:
+
+1. **Stale performance claims.** Every headline number the docs cite
+   (ticks/s, speedups, the real-time factor) must match the committed
+   ``BENCH_perf.json``, under the docs' own rounding convention:
+   ticks/s to the nearest 100 (nearest 1,000 for the fleet aggregate,
+   which is two orders of magnitude larger), speedups to one decimal.
+   Regenerate the docs' numbers after ``python -m repro perf``.
+
+2. **Undocumented subsystems.** Every subpackage of ``src/repro/``
+   must be mentioned by name (``repro.<pkg>``) in
+   ``docs/architecture.md`` — the architecture doc is the map, and a
+   subsystem missing from the map is invisible to new readers.
+
+Run: python tools/check_docs.py   (exit 1 on any drift)
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BENCH = REPO / "BENCH_perf.json"
+PERF_DOC = REPO / "docs" / "performance.md"
+ARCH_DOC = REPO / "docs" / "architecture.md"
+
+errors: list[str] = []
+
+
+def _fmt(value: float, nearest: int) -> str:
+    return f"{round(value / nearest) * nearest:,.0f}"
+
+
+def _expect(doc: Path, text: str, pattern: str, label: str,
+            expected: str) -> None:
+    match = re.search(pattern, text)
+    if not match:
+        errors.append(f"{doc.name}: no line matching {label!r} "
+                      f"(pattern {pattern!r})")
+        return
+    cited = match.group(1)
+    if cited != expected:
+        errors.append(f"{doc.name}: {label} cites {cited!r} but "
+                      f"BENCH_perf.json says {expected!r}")
+
+
+def check_perf_numbers() -> None:
+    bench = json.loads(BENCH.read_text())
+    headline = bench["headline"]["timing"]
+    fleet = bench["fleet"]["timing"]
+    perf_text = PERF_DOC.read_text()
+    arch_text = ARCH_DOC.read_text()
+
+    _expect(PERF_DOC, perf_text,
+            r"\| scalar reference path \| ~([\d,]+) ticks/s",
+            "scalar reference ticks/s",
+            _fmt(headline["scalar_ticks_per_s"], 100))
+    _expect(PERF_DOC, perf_text,
+            r"\| batched fast path \| ~([\d,]+) ticks/s",
+            "batched fast path ticks/s",
+            _fmt(headline["fast_ticks_per_s"], 100))
+    _expect(PERF_DOC, perf_text,
+            r"\| batched fast path \|[^|]*~(\d+\.\d)x vs scalar",
+            "fast-path speedup",
+            f"{headline['speedup_vs_scalar']:.1f}")
+    _expect(PERF_DOC, perf_text,
+            r"\| fleet engine[^|]*\| ~([\d,]+) machine-ticks/s",
+            "fleet aggregate machine-ticks/s",
+            _fmt(fleet["fleet_machine_ticks_per_s"], 1000))
+    _expect(PERF_DOC, perf_text,
+            r"\| fleet engine[^|]*\|[^|]*~(\d+\.\d)x vs per-job",
+            "fleet speedup",
+            f"{fleet['speedup_vs_per_job']:.1f}")
+
+    # architecture.md cites the real-time factor of the headline
+    # scenario: ticks/s x 10 ms per tick / 1000 ms.
+    _expect(ARCH_DOC, arch_text,
+            r"~(\d+)x real time",
+            "real-time factor",
+            str(round(headline["fast_ticks_per_s"] / 100)))
+    _expect(ARCH_DOC, arch_text,
+            r"~\d+x real time \(~([\d,]+) ticks/s\)",
+            "architecture ticks/s",
+            _fmt(headline["fast_ticks_per_s"], 100))
+
+
+def check_subpackage_coverage() -> None:
+    arch_text = ARCH_DOC.read_text()
+    pkg_root = REPO / "src" / "repro"
+    subpackages = sorted(
+        p.name for p in pkg_root.iterdir()
+        if p.is_dir() and (p / "__init__.py").exists()
+    )
+    for name in subpackages:
+        if f"repro.{name}" not in arch_text:
+            errors.append(
+                f"architecture.md: subpackage `repro.{name}` is never "
+                "mentioned — add it to the subsystem map"
+            )
+
+
+def main() -> int:
+    check_perf_numbers()
+    check_subpackage_coverage()
+    if errors:
+        for err in errors:
+            print(f"error: {err}", file=sys.stderr)
+        return 1
+    print("docs are consistent with BENCH_perf.json and src/repro/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,7 @@ Run:  python examples/cmp_extension.py
 
 from repro import (
     MachineSpec,
-    Policy,
+    PolicySpec,
     SystemConfig,
     ThermalParams,
     Topology,
@@ -49,7 +49,7 @@ def main() -> None:
     )
     result = run_simulation(
         config, single_program_workload("bitcnts", 1),
-        policy=Policy.ENERGY, duration_s=DURATION_S,
+        policy=PolicySpec("energy"), duration_s=DURATION_S,
     )
     print("hot bitcnts task on the CMP (40 W per package):")
     for event in result.migration_events():

@@ -15,7 +15,7 @@ Run:  python examples/energy_containers.py
 
 from repro import (
     MachineSpec,
-    Policy,
+    PolicySpec,
     SystemConfig,
     TaskSpec,
     WorkloadSpec,
@@ -42,7 +42,7 @@ def main() -> None:
     workload = WorkloadSpec("capped-mix", tasks)
     print("8 tasks on 8 CPUs (one each); one bitcnts capped at 35 W, "
           "its twin uncapped")
-    result = run_simulation(config, workload, policy=Policy.ENERGY,
+    result = run_simulation(config, workload, policy=PolicySpec("energy"),
                             duration_s=DURATION_S)
 
     capped = next(

@@ -13,7 +13,7 @@ Run:  python examples/hot_task_tour.py
 
 from repro import (
     MachineSpec,
-    Policy,
+    PolicySpec,
     SystemConfig,
     ThermalParams,
     ThrottleConfig,
@@ -35,7 +35,7 @@ def main() -> None:
     workload = single_program_workload("bitcnts", 1)
 
     print("one bitcnts (~61 W), 40 W package budget, no throttling:\n")
-    result = run_simulation(config, workload, policy=Policy.ENERGY,
+    result = run_simulation(config, workload, policy=PolicySpec("energy"),
                             duration_s=DURATION_S)
     print("  time    migration            (node 0 = CPUs 0-3 + siblings 8-11)")
     for event in result.migration_events():

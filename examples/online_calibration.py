@@ -20,7 +20,7 @@ import numpy as np
 
 from repro import (
     MachineSpec,
-    Policy,
+    PolicySpec,
     SystemConfig,
     ThermalParams,
     run_simulation,
@@ -42,7 +42,7 @@ def main() -> None:
     print("running openssl (phase-varying power) for 240 simulated seconds...")
     result = run_simulation(
         config, single_program_workload("openssl", 1),
-        policy=Policy.BASELINE, duration_s=240,
+        policy=PolicySpec("baseline"), duration_s=240,
     )
     cpu = result.system.live_tasks()[0].cpu
     diode = result.tracer.get_series(f"diode.pkg{cpu}")

@@ -25,13 +25,20 @@ paper-vs-measured record of every table and figure.
 from repro.api import (
     PolicyComparison,
     ReplicatedComparison,
+    RunOptions,
     SimulationResult,
     compare_policies,
     run_replicated,
     run_simulation,
 )
 from repro.config import SystemConfig
-from repro.core.policy import EnergyAwareConfig, Policy
+from repro.core.policy import (
+    EnergyAwareConfig,
+    Policy,
+    PolicyDefinition,
+    PolicySpec,
+    policy_names,
+)
 from repro.obs import ObservabilityConfig
 from repro.core.profile import ProfileConfig
 from repro.cpu.power import PowerModelParams
@@ -61,9 +68,12 @@ __all__ = [
     "PROGRAMS",
     "Policy",
     "PolicyComparison",
+    "PolicyDefinition",
+    "PolicySpec",
     "PowerModelParams",
     "PowerTrace",
     "ReplicatedComparison",
+    "RunOptions",
     "Scenario",
     "ProfileConfig",
     "ProgramSpec",
@@ -81,6 +91,7 @@ __all__ = [
     "load_scenario",
     "mixed_table2_workload",
     "parse_scenario",
+    "policy_names",
     "program",
     "run_replicated",
     "run_simulation",

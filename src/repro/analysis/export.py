@@ -94,6 +94,15 @@ def run_summary(result: SimulationResult) -> dict:
                 result.throttle_fraction(c) for c in range(system.n_cpus)
             ],
         },
+        "energy": {
+            "total_j": result.total_energy_j(),
+            "package_j": [
+                result.package_energy_j(p)
+                for p in range(system.config.machine.n_packages)
+            ],
+            "average_frequency_scale": result.average_frequency_scale(),
+            "dvfs_scaled_fraction": result.average_dvfs_scaled_fraction(),
+        },
         "utilization": {
             "average": result.average_utilization(),
             "per_cpu": [

@@ -222,6 +222,39 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--json", action="store_true",
                       help="print the payload as JSON instead of a table")
 
+    tournament = sub.add_parser(
+        "tournament",
+        help="race every scheduling policy across the pinned scenarios "
+             "and write the BENCH_policies.json leaderboard",
+    )
+    tournament.add_argument("--scenario", action="append", default=None,
+                            metavar="NAME", dest="scenarios",
+                            help="race only this scenario (repeatable; "
+                                 "default: the full pinned set)")
+    tournament.add_argument("--policy", action="append", default=None,
+                            metavar="NAME", dest="policies",
+                            help="race only this policy (repeatable; "
+                                 "default: every registered policy)")
+    tournament.add_argument("--duration", type=_positive_duration,
+                            default=None, metavar="SECONDS",
+                            help="simulated seconds per cell (default: 60)")
+    tournament.add_argument("--workers", type=int, default=1, metavar="N",
+                            help="worker processes (1 = serial, the default)")
+    tournament.add_argument("--no-cache", action="store_true",
+                            help="bypass the on-disk result cache entirely")
+    tournament.add_argument("--cache-dir", default=None, metavar="DIR",
+                            help="cache directory (default: $REPRO_CACHE_DIR "
+                                 "or .repro_cache)")
+    tournament.add_argument("--skip-oracle", action="store_true",
+                            help="skip the scalar-reference differential "
+                                 "oracle (faster, but no fast-path check)")
+    tournament.add_argument("--output", default="BENCH_policies.json",
+                            metavar="PATH",
+                            help="result file (default: BENCH_policies.json)")
+    tournament.add_argument("--json", action="store_true",
+                            help="print the payload as JSON instead of a "
+                                 "table")
+
     validate = sub.add_parser(
         "validate",
         help="run the correctness matrix (invariants + differential "
@@ -653,6 +686,68 @@ def _cmd_perf(parser, args) -> int:
     return 0
 
 
+def _cmd_tournament(parser, args) -> int:
+    from repro.tournament import (
+        DEFAULT_DURATION_S,
+        format_policy_report,
+        run_tournament,
+        tournament_scenario_by_name,
+        write_policies_json,
+    )
+
+    scenarios = None
+    if args.scenarios:
+        try:
+            scenarios = [
+                tournament_scenario_by_name(name) for name in args.scenarios
+            ]
+        except ValueError as exc:
+            parser.error(str(exc))
+    policies = None
+    if args.policies:
+        from repro.core.policyspec import PolicySpec
+
+        try:
+            policies = [PolicySpec.coerce(name) for name in args.policies]
+        except ValueError as exc:
+            parser.error(str(exc))
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    cache = _make_cache(args)
+
+    def progress(outcome, i, total):
+        status = "cached" if outcome.cached else ("ok" if outcome.ok
+                                                  else "FAILED")
+        print(f"  [{i + 1}/{total}] {outcome.spec.label:<40} {status}",
+              file=sys.stderr)
+
+    try:
+        payload = run_tournament(
+            duration_s=args.duration or DEFAULT_DURATION_S,
+            scenarios=scenarios,
+            policies=policies,
+            workers=args.workers,
+            cache=cache,
+            check_oracle=not args.skip_oracle,
+            progress=progress,
+        )
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    path = write_policies_json(payload, args.output)
+    if args.json:
+        _print_json_report(payload)
+    else:
+        print(format_policy_report(payload))
+    print(f"wrote {path}", file=sys.stderr)
+    oracle = payload["oracle"]
+    if oracle.get("checked") and not oracle["identical"]:
+        print("error: fast path diverged from the scalar reference",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_validate(parser, args) -> int:
     from repro.perf import scenario_by_name
     from repro.validate import (
@@ -887,6 +982,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_batch(parser, args)
     if args.command == "perf":
         return _cmd_perf(parser, args)
+    if args.command == "tournament":
+        return _cmd_tournament(parser, args)
     if args.command == "validate":
         return _cmd_validate(parser, args)
     if args.command == "trace":

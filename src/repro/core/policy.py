@@ -23,6 +23,14 @@ from repro.core.energy_balance import EnergyBalanceConfig, EnergyBalancer
 from repro.core.hot_migration import HotMigrationConfig, HotTaskMigrator
 from repro.core.metrics import MetricsBoard
 from repro.core.placement import InitialPlacement, PlacementConfig
+from repro.core.policyspec import (  # noqa: F401  (re-exported API surface)
+    POLICY_REGISTRY,
+    PolicyDefinition,
+    PolicySpec,
+    canonical_policy_value,
+    definition_by_name,
+    policy_names,
+)
 from repro.core.profile import ProfileConfig
 from repro.sched.domains import DomainHierarchy
 from repro.sched.load_balance import LoadBalanceConfig, load_balance_pass
@@ -37,8 +45,11 @@ class Policy(str, Enum):
 
     A ``str`` subclass so existing call sites, scenario files, and
     exported results that use the plain strings ``"energy"`` and
-    ``"baseline"`` keep working unchanged; :meth:`coerce` is the single
-    place the public API turns user input into a member.
+    ``"baseline"`` keep working unchanged.  This enum predates the
+    parameterized :class:`repro.core.policyspec.PolicySpec` registry and
+    survives as a compatibility shim: members coerce transparently via
+    :meth:`PolicySpec.coerce`, which is now where the public API turns
+    user input into a policy.
     """
 
     #: the paper's energy-aware scheduler (balancing + hot migration +

@@ -29,6 +29,17 @@ def _default_levels() -> tuple[float, ...]:
     return (1.0, 0.9, 0.8, 0.7, 0.6, 0.5)
 
 
+def _validate_levels(levels: tuple[float, ...]) -> None:
+    if not levels or levels[0] != 1.0:
+        raise ValueError("levels must start at 1.0")
+    if list(levels) != sorted(levels, reverse=True):
+        raise ValueError("levels must be strictly descending")
+    if any(not 0.0 < lv <= 1.0 for lv in levels):
+        raise ValueError("levels must be in (0, 1]")
+    if len(set(levels)) != len(levels):
+        raise ValueError("levels must be strictly descending")
+
+
 @dataclass(frozen=True, slots=True)
 class DvfsConfig:
     """Frequency ladder and controller hysteresis.
@@ -45,15 +56,35 @@ class DvfsConfig:
     step_up_margin_w: float = 2.0
 
     def __post_init__(self) -> None:
-        if not self.levels or self.levels[0] != 1.0:
-            raise ValueError("levels must start at 1.0")
-        if list(self.levels) != sorted(self.levels, reverse=True):
-            raise ValueError("levels must be strictly descending")
-        if any(not 0.0 < lv <= 1.0 for lv in self.levels):
-            raise ValueError("levels must be in (0, 1]")
-        if len(set(self.levels)) != len(self.levels):
-            raise ValueError("levels must be strictly descending")
+        _validate_levels(self.levels)
         if self.step_up_margin_w <= 0:
+            raise ValueError("step-up margin must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class ProactiveDvfsConfig:
+    """Ladder and hysteresis of the temperature-tracking controller.
+
+    Attributes
+    ----------
+    levels:
+        Available relative frequencies, descending, starting at 1.0.
+    target_margin_c:
+        Safety margin below the thermal limit; the controller steers the
+        estimated die temperature toward ``limit - margin``.
+    step_up_margin_c:
+        Step back up once the estimate falls this far below the target.
+    """
+
+    levels: tuple[float, ...] = field(default_factory=_default_levels)
+    target_margin_c: float = 2.0
+    step_up_margin_c: float = 1.0
+
+    def __post_init__(self) -> None:
+        _validate_levels(self.levels)
+        if self.target_margin_c < 0:
+            raise ValueError("target margin must be non-negative")
+        if self.step_up_margin_c <= 0:
             raise ValueError("step-up margin must be positive")
 
 
@@ -79,6 +110,7 @@ class DvfsController:
         self._level_index = [0] * n_cpus
         self._scaled_ticks = [0] * n_cpus
         self._total_ticks = [0] * n_cpus
+        self._scale_sum = [0.0] * n_cpus
 
     def scale(self, cpu_id: int) -> float:
         """Current relative frequency of a CPU."""
@@ -97,9 +129,75 @@ class DvfsController:
         self._level_index[cpu_id] = index
         if index > 0:
             self._scaled_ticks[cpu_id] += 1
-        return self.config.levels[index]
+        scale = self.config.levels[index]
+        self._scale_sum[cpu_id] += scale
+        return scale
 
     def scaled_fraction(self, cpu_id: int) -> float:
         """Fraction of time the CPU ran below full frequency."""
         total = self._total_ticks[cpu_id]
         return self._scaled_ticks[cpu_id] / total if total else 0.0
+
+    def mean_scale(self, cpu_id: int) -> float:
+        """Mean relative frequency over the CPU's governed ticks.
+
+        1.0 when the controller never ran (DVFS disabled or a zero-tick
+        run): an ungoverned CPU is a full-speed CPU.
+        """
+        total = self._total_ticks[cpu_id]
+        return self._scale_sum[cpu_id] / total if total else 1.0
+
+
+class TemperatureDvfsController:
+    """Proactive per-CPU governor steering the *estimated* temperature.
+
+    Where :class:`DvfsController` reacts to the thermal-power estimate
+    crossing the power limit, this one tracks the §4.2 temperature
+    estimate directly: step down while the package's estimated die
+    temperature sits above the target (limit minus a safety margin),
+    step back up once it has cooled a hysteresis band below the target.
+    Acting on the estimate rather than the limit means the clock drops
+    *before* the chip reaches throttling territory.
+    """
+
+    def __init__(
+        self, n_cpus: int, config: ProactiveDvfsConfig | None = None
+    ) -> None:
+        if n_cpus < 1:
+            raise ValueError("need at least one CPU")
+        self.config = config if config is not None else ProactiveDvfsConfig()
+        self._level_index = [0] * n_cpus
+        self._scaled_ticks = [0] * n_cpus
+        self._total_ticks = [0] * n_cpus
+        self._scale_sum = [0.0] * n_cpus
+
+    def scale(self, cpu_id: int) -> float:
+        """Current relative frequency of a CPU."""
+        return self.config.levels[self._level_index[cpu_id]]
+
+    def update(self, cpu_id: int, est_temp_c: float, target_c: float) -> float:
+        """Advance one tick; returns the frequency scale to run at."""
+        self._total_ticks[cpu_id] += 1
+        index = self._level_index[cpu_id]
+        if est_temp_c > target_c and index < len(self.config.levels) - 1:
+            index += 1
+        elif (
+            est_temp_c < target_c - self.config.step_up_margin_c and index > 0
+        ):
+            index -= 1
+        self._level_index[cpu_id] = index
+        if index > 0:
+            self._scaled_ticks[cpu_id] += 1
+        scale = self.config.levels[index]
+        self._scale_sum[cpu_id] += scale
+        return scale
+
+    def scaled_fraction(self, cpu_id: int) -> float:
+        """Fraction of time the CPU ran below full frequency."""
+        total = self._total_ticks[cpu_id]
+        return self._scaled_ticks[cpu_id] / total if total else 0.0
+
+    def mean_scale(self, cpu_id: int) -> float:
+        """Mean relative frequency over the CPU's governed ticks."""
+        total = self._total_ticks[cpu_id]
+        return self._scale_sum[cpu_id] / total if total else 1.0

@@ -198,6 +198,7 @@ class FleetEngine:
         self.r_k = f((M, P))
         self.decay = f((M, P))
         self.est_pkg = f((M, P))
+        self.pkg_energy = f((M, P))
         # -- per-machine columns ------------------------------------------------
         self.bw_ts = f((M, 1))
         self.cyc_solo = f((M, 1))
@@ -332,6 +333,7 @@ class FleetEngine:
                 self.r_k[m, p] = rc._r_k_per_w
                 self.decay[m, p] = rc_decay(rc.params.tau_s, tick_s)
                 self.est_pkg[m, p] = sys_._est_pkg_power[p]
+                self.pkg_energy[m, p] = sys_._pkg_energy_j[p]
             self.max_err[m] = sys_.max_temp_err_k
             self.max_seen[m] = sys_.max_temp_seen_c
             # alias the member's counter matrix onto the fleet tensor
@@ -480,6 +482,7 @@ class FleetEngine:
         sys_._running[:] = [bool(x) for x in self.running[m]]
         sys_._pkg_temp_c[:] = self.true_t[m].tolist()
         sys_._pkg_est_temp_c[:] = self.est_t[m].tolist()
+        sys_._pkg_energy_j[:] = self.pkg_energy[m].tolist()
         sys_._busy_ticks[:] = (self.busy_base[m] + self.busy_acc[m]).tolist()
         sys_._total_ticks = self.total_base[m] + self.ticks_done
         sys_.max_temp_err_k = float(self.max_err[m])
@@ -844,6 +847,11 @@ class FleetEngine:
         self.est_t -= target
         self.est_t *= self.decay
         self.est_t += target
+        # frequency-aware Eq. 1 ledger: elementwise est_w * tick_s then
+        # add — the same two IEEE ops as the scalar's `+= est_w * tick_s`
+        # (target/f4 is free until the err computation rebuilds it)
+        np.multiply(est_w_pkg, tick_s, out=target)
+        self.pkg_energy += target
         # restore any_run for the thermal-input cascade below
         np.logical_not(all_halted, out=any_run)
         err = target  # f4 free after the est_t update

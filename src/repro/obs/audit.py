@@ -30,6 +30,7 @@ AUDIT_SITES = (
     "hot_migration",    # §4.5 Figure-5 destination walk
     "placement",        # §4.6 initial placement choice
     "migration",        # committed migration (any reason)
+    "dvfs",             # frequency-governor level changes (§2.3 family)
 )
 
 

@@ -154,11 +154,21 @@ class Observer:
         throttled = registry.gauge(
             "repro_cpu_throttled_fraction", "Fraction of the run spent throttled."
         )
+        freq_scale = registry.gauge(
+            "repro_cpu_frequency_scale_ratio",
+            "Relative DVFS clock (1.0 = full frequency).",
+        )
+        dvfs_scaled = registry.gauge(
+            "repro_cpu_dvfs_scaled_fraction",
+            "Fraction of the run spent below full frequency.",
+        )
         for c in range(system.n_cpus):
             labels = {"cpu": str(c)}
             thermal.set_sample(system.metrics.thermal_power_w(c), labels)
             utilization.set_sample(system.cpu_utilization(c), labels)
             throttled.set_sample(system.throttle.throttled_fraction(c), labels)
+            freq_scale.set_sample(system._freq_scale[c], labels)
+            dvfs_scaled.set_sample(system.dvfs.scaled_fraction(c), labels)
 
         pkg_temp = registry.gauge(
             "repro_package_temperature_celsius", "True RC die temperature."
@@ -167,10 +177,15 @@ class Observer:
             "repro_package_est_power_watts",
             "Counter-estimated package power (§3.1).",
         )
+        pkg_energy = registry.gauge(
+            "repro_package_energy_joules",
+            "Accumulated estimated package energy (frequency-aware Eq. 1).",
+        )
         for pkg in range(system.config.machine.n_packages):
             labels = {"package": str(pkg)}
             pkg_temp.set_sample(system.true_rc[pkg].temperature_c, labels)
             pkg_power.set_sample(system._est_pkg_power[pkg], labels)
+            pkg_energy.set_sample(system._pkg_energy_j[pkg], labels)
 
         registry.gauge(
             "repro_max_temperature_celsius", "Hottest die temperature seen."

@@ -78,8 +78,25 @@ def execute_spec(spec: JobSpec) -> dict:
     if spec.seed is not None:
         data["seed"] = spec.seed
     obs = bool(data.pop("obs", False))
+    options_data = dict(data.pop("options", None) or {})
+    unknown = set(options_data) - {"fast_path", "validate", "obs"}
+    if unknown:
+        raise ValueError(f"unknown scenario option keys: {sorted(unknown)}")
+    if "obs" in options_data:
+        obs = bool(options_data["obs"]) or obs
     scenario = parse_scenario(data)
-    result = scenario.run(obs=obs)
+    if options_data:
+        from repro.api import RunOptions
+
+        result = scenario.run(
+            options=RunOptions(
+                fast_path=options_data.get("fast_path"),
+                validate=options_data.get("validate"),
+                obs=obs or None,
+            )
+        )
+    else:
+        result = scenario.run(obs=obs)
     out = {
         "experiment": None,
         "scenario": scenario.workload.name,

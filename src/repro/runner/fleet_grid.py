@@ -69,7 +69,6 @@ def _build_member(spec: JobSpec):
     here — the pool path will surface them with the executor's full
     retry/quarantine machinery.
     """
-    from repro.core.policy import Policy
     from repro.fleet import FleetUnsupported, check_fleet_supported
     from repro.scenario import parse_scenario
     from repro.system import System
@@ -79,12 +78,14 @@ def _build_member(spec: JobSpec):
     data = _merged_scenario_dict(spec)
     if data.get("obs"):
         return None, None, "observability requested"
+    if data.get("options"):
+        return None, None, "run options requested"
     try:
         scenario = parse_scenario(data)
         system = System(
             scenario.config,
             scenario.workload,
-            policy=Policy.coerce(scenario.policy),
+            policy=scenario.policy,
         )
         check_fleet_supported(system)
     except FleetUnsupported as exc:

@@ -16,6 +16,26 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
+from repro.core.policyspec import canonical_policy_value
+
+
+def _canonical_scenario_keys(data: dict[str, Any]) -> dict[str, Any]:
+    """Normalize policy spellings so equivalent specs hash identically.
+
+    ``PolicySpec("energy")``, ``Policy.ENERGY``, and ``"energy"`` all
+    render as the plain name (byte-for-byte the pre-PolicySpec form, so
+    existing cache entries stay valid); parameterized specs render as
+    the sorted ``{"name", "params"}`` mapping.  Invalid values are left
+    untouched — they fail at execution time with the parser's error,
+    exactly as before.
+    """
+    if "policy" in data:
+        try:
+            data["policy"] = canonical_policy_value(data["policy"])
+        except (ValueError, TypeError):
+            pass
+    return data
+
 
 @dataclass(frozen=True)
 class JobSpec:
@@ -65,13 +85,13 @@ class JobSpec:
         if self.experiment is not None:
             out["experiment"] = self.experiment
         if self.scenario is not None:
-            out["scenario"] = dict(self.scenario)
+            out["scenario"] = _canonical_scenario_keys(dict(self.scenario))
         if self.duration_s is not None:
             out["duration_s"] = float(self.duration_s)
         if self.seed is not None:
             out["seed"] = int(self.seed)
         if self.overrides:
-            out["overrides"] = dict(self.overrides)
+            out["overrides"] = _canonical_scenario_keys(dict(self.overrides))
         return out
 
     @classmethod

@@ -21,7 +21,7 @@ kernel integration:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclasses_replace
 from math import cos as _cos, log as _log, sin as _sin, sqrt as _sqrt
 from random import TWOPI as _TWOPI
 from time import perf_counter
@@ -36,11 +36,16 @@ from repro.core.policy import (
     EnergyAwareConfig,
     EnergyAwarePolicy,
     Policy,
+    PolicySpec,
     SchedulingPolicy,
 )
 from repro.core.profile import EnergyProfile
 from repro.core.estimator import build_calibrated_estimator
-from repro.cpu.dvfs import DvfsController, dynamic_power_scale
+from repro.cpu.dvfs import (
+    DvfsController,
+    TemperatureDvfsController,
+    dynamic_power_scale,
+)
 from repro.cpu.frequency import ExecutionModel
 from repro.cpu.events import N_EVENTS
 from repro.cpu.pmc import CounterBank
@@ -126,23 +131,31 @@ class System:
         self,
         config: SystemConfig,
         workload: WorkloadSpec,
-        policy: Policy | str = Policy.ENERGY,
+        policy: PolicySpec | Policy | str = Policy.ENERGY,
         policy_config: EnergyAwareConfig | None = None,
         tracer: Tracer | None = None,
         fast_path: bool = True,
         validate=False,
         obs=False,
     ) -> None:
-        policy = Policy.coerce(policy)
-        if policy is Policy.BASELINE and policy_config is not None:
+        policy = PolicySpec.coerce(policy)
+        if policy.scheduling == "baseline" and policy_config is not None:
             raise ValueError(
                 "policy_config configures the energy-aware scheduler and is "
                 "meaningless with policy='baseline'; pass policy='energy' or "
                 "drop policy_config"
             )
+        # A policy that implies a temperature-control mode (hlt-throttle,
+        # the DVFS family) forces it into the run's config up front, so
+        # everything downstream — the throttle step, fleet eligibility,
+        # checkpoint headers, the validator — sees one effective config.
+        forced_throttle = policy.throttle_override(config.throttle)
+        if forced_throttle is not None:
+            config = dataclasses_replace(config, throttle=forced_throttle)
         self.config = config
         self.workload = workload
-        self.policy_name = policy.value
+        self.policy_spec = policy
+        self.policy_name = policy.name
         self.fast_path = bool(fast_path)
         self.tracer = tracer if tracer is not None else Tracer(config.sample_interval_s)
         self.rng = RngFactory(config.seed)
@@ -171,7 +184,30 @@ class System:
             self.true_rc.append(ThermalRC(params, initial_c=idle_temp))
             self.est_rc.append(ThermalRC(params, initial_c=idle_temp))
         self.throttle = ThrottleController(self.n_cpus, config.throttle)
-        self.dvfs = DvfsController(self.n_cpus)
+        self._dvfs_kind = policy.dvfs_kind or "reactive"
+        if self._dvfs_kind == "proactive":
+            self.dvfs: DvfsController | TemperatureDvfsController = (
+                TemperatureDvfsController(self.n_cpus, policy.dvfs_config())
+            )
+            # Per-package temperature targets: the thermal limit (or the
+            # steady-state temperature of the package power budget when
+            # no explicit limit is set) minus the safety margin.  An
+            # unconstrained package gets an unreachable target and the
+            # governor never scales.
+            margin = self.dvfs.config.target_margin_c
+            self._dvfs_target_c = []
+            for pkg in range(spec.n_packages):
+                limit_c = (
+                    config.temp_limit_c
+                    if config.temp_limit_c is not None
+                    else config.thermal_for_package(pkg).steady_state_c(
+                        config.package_max_power_w(pkg)
+                    )
+                )
+                self._dvfs_target_c.append(limit_c - margin)
+        else:
+            self.dvfs = DvfsController(self.n_cpus, policy.dvfs_config())
+            self._dvfs_target_c = []
         self._dvfs_mode = config.throttle.enabled and config.throttle.mode == "dvfs"
         self._freq_scale = [1.0] * self.n_cpus
 
@@ -206,13 +242,23 @@ class System:
         )
 
         self.policy: SchedulingPolicy
-        if policy is Policy.ENERGY:
+        if policy.scheduling == "energy":
+            effective_config = policy_config
+            if not policy.hot_migration:
+                # The pure DVFS variants strip hot-CPU migration from the
+                # lever set so the governor is the only thermal response.
+                effective_config = dataclasses_replace(
+                    effective_config
+                    if effective_config is not None
+                    else EnergyAwareConfig(),
+                    enable_hot_migration=False,
+                )
             self.policy = EnergyAwarePolicy(
                 self.metrics,
                 self.hierarchy,
                 self.runqueues,
                 self._migrate,
-                policy_config,
+                effective_config,
             )
             self._profile_config = self.policy.config.profile
         else:
@@ -242,6 +288,10 @@ class System:
         self._busy_ticks = [0] * self.n_cpus
         self._total_ticks = 0
         self._est_pkg_power = [0.0] * spec.n_packages
+        # Frequency-aware Eq. 1 energy ledger: per-package estimated
+        # energy, integrated as est-power x tick every thermal step.
+        # Real run state (not derived), so it pickles with checkpoints.
+        self._pkg_energy_j = [0.0] * spec.n_packages
         self._pkg_temp_c = list(idle_temps)
         self._pkg_est_temp_c = list(idle_temps)
         self.diode = ThermalDiode()
@@ -1064,6 +1114,7 @@ class System:
             else:
                 est_w = sum(self._est_power[c] for c in cpus if self._running[c])
             self._est_pkg_power[pkg] = est_w
+            self._pkg_energy_j[pkg] += est_w * tick_s
             est_temp = self.est_rc[pkg].step(est_w, tick_s)
             self._pkg_est_temp_c[pkg] = est_temp
             err = abs(est_temp - true_temp)
@@ -1114,6 +1165,7 @@ class System:
         pkg_temp = self._pkg_temp_c
         pkg_est_temp = self._pkg_est_temp_c
         est_pkg_power = self._est_pkg_power
+        pkg_energy = self._pkg_energy_j
         true_rc = self.true_rc
         est_rc = self.est_rc
         meter_rngs = self._meter_rngs
@@ -1192,6 +1244,7 @@ class System:
                     for c in cpus:
                         thermal_in[c] = est_power[c] if running[c] else 0.0
             est_pkg_power[pkg] = est_w
+            pkg_energy[pkg] += est_w * tick_s
             rc = est_rc[pkg]
             target = rc._ambient_c + est_w * rc._r_k_per_w
             est_temp = target + (rc._temp_c - target) * decay
@@ -1210,6 +1263,32 @@ class System:
     def _throttle_step(self, clock: Clock) -> None:
         if not self.config.throttle.enabled:
             return
+        observer = self.observer
+        audit = observer.audit if observer is not None else None
+        if self._dvfs_mode and self._dvfs_kind == "proactive":
+            # Temperature-tracking DVFS: steer each package's *estimated*
+            # die temperature (§4.2) toward its target instead of
+            # reacting to the thermal-power limit.
+            targets = self._dvfs_target_c
+            pkg_est_temp = self._pkg_est_temp_c
+            pkg_of = self._pkg_of
+            for c in range(self.n_cpus):
+                pkg = pkg_of[c]
+                was = self._freq_scale[c]
+                now = self.dvfs.update(c, pkg_est_temp[pkg], targets[pkg])
+                self._freq_scale[c] = now
+                if audit is not None and now != was:
+                    audit.record(
+                        site="dvfs",
+                        cpu=c,
+                        accepted=True,
+                        detail={
+                            "scale": now,
+                            "est_temp_c": pkg_est_temp[pkg],
+                            "target_c": targets[pkg],
+                        },
+                    )
+            return
         package_scope = self.config.throttle.scope == "package"
         for c in range(self.n_cpus):
             if package_scope:
@@ -1219,7 +1298,20 @@ class System:
                 thermal = self.metrics.thermal_power_w(c)
                 limit = self.metrics.max_power_w(c)
             if self._dvfs_mode:
-                self._freq_scale[c] = self.dvfs.update(c, thermal, limit)
+                was = self._freq_scale[c]
+                now = self.dvfs.update(c, thermal, limit)
+                self._freq_scale[c] = now
+                if audit is not None and now != was:
+                    audit.record(
+                        site="dvfs",
+                        cpu=c,
+                        accepted=True,
+                        detail={
+                            "scale": now,
+                            "thermal_w": thermal,
+                            "limit_w": limit,
+                        },
+                    )
                 continue
             was = self.throttle.is_throttled(c)
             now = self.throttle.update(c, thermal, limit)

@@ -148,6 +148,12 @@ REGISTRY: tuple[Invariant, ...] = (
         "control mode; frequency scales stay in (0, 1].",
     ),
     Invariant(
+        "dvfs-energy-accounting", "tick", "§2.3/Eq. 1",
+        "Frequency scales come off the configured DVFS ladder (exactly "
+        "1.0 outside DVFS mode) and each package's accumulated energy "
+        "grows by estimated power x tick time between consecutive ticks.",
+    ),
+    Invariant(
         "placement-cache-consistency", "tick", "§4.6",
         "The inode-keyed first-timeslice table holds finite non-negative "
         "powers for inodes the workload actually runs.",
@@ -243,6 +249,7 @@ class InvariantChecker:
         self._prev_tick = -1
         self._prev_thermal: list[float] | None = None
         self._prev_task_energy: float | None = None
+        self._prev_pkg_energy: list[float] | None = None
 
     # -- reporting ----------------------------------------------------------
     @property
@@ -289,12 +296,15 @@ class InvariantChecker:
             self._check_task_residency(tick)
         if "throttle-state" in enabled:
             self._check_throttle_state(tick)
+        if "dvfs-energy-accounting" in enabled:
+            self._check_dvfs_energy(tick, tick_s)
         if "placement-cache-consistency" in enabled:
             self._check_placement_cache(tick)
         # Snapshot for the next sample's history-coupled checks.
         self._prev_tick = tick
         self._prev_thermal = list(self.system.metrics.thermal_w)
         self._prev_task_energy = self._task_energy_sum()
+        self._prev_pkg_energy = list(self.system._pkg_energy_j)
 
     # -- hook: migration events --------------------------------------------
     def before_migration(self, task: Task, src: int, dst: int, reason: str) -> None:
@@ -586,6 +596,46 @@ class InvariantChecker:
                 self._emit(
                     tick, "throttle-state",
                     f"CPU {c}: frequency scale {scale!r} < 1 outside DVFS mode",
+                )
+
+    def _check_dvfs_energy(self, tick: int, tick_s: float) -> None:
+        self._ran("dvfs-energy-accounting")
+        system = self.system
+        ladder = set(system.dvfs.config.levels)
+        for c in range(system.n_cpus):
+            scale = system._freq_scale[c]
+            if system._dvfs_mode:
+                if scale not in ladder:
+                    self._emit(
+                        tick, "dvfs-energy-accounting",
+                        f"CPU {c}: frequency scale {scale!r} is not on the "
+                        f"configured ladder {sorted(ladder, reverse=True)}",
+                    )
+            elif scale != 1.0:
+                self._emit(
+                    tick, "dvfs-energy-accounting",
+                    f"CPU {c}: frequency scale {scale!r} != 1.0 although "
+                    "DVFS is not active",
+                )
+        for pkg, total in enumerate(system._pkg_energy_j):
+            if not math.isfinite(total) or total < 0.0:
+                self._emit(
+                    tick, "dvfs-energy-accounting",
+                    f"package {pkg}: accumulated energy {total!r} J",
+                )
+        # Frequency-aware Eq. 1 conservation: between consecutive ticks
+        # the ledger grows by exactly est-power x tick (the DVFS-scaled
+        # estimate, so the invariant holds at any frequency).
+        if self._prev_tick != tick - 1 or self._prev_pkg_energy is None:
+            return  # needs consecutive samples
+        for pkg in range(len(system._pkg_energy_j)):
+            grew = system._pkg_energy_j[pkg] - self._prev_pkg_energy[pkg]
+            expected = system._est_pkg_power[pkg] * tick_s
+            if not self._close(grew, expected):
+                self._emit(
+                    tick, "dvfs-energy-accounting",
+                    f"package {pkg}: energy grew {grew!r} J this tick but "
+                    f"estimated power x tick is {expected!r} J",
                 )
 
     def _check_placement_cache(self, tick: int) -> None:

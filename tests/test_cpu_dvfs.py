@@ -4,7 +4,13 @@ import pytest
 
 from repro.api import run_simulation
 from repro.config import SystemConfig
-from repro.cpu.dvfs import DvfsConfig, DvfsController, dynamic_power_scale
+from repro.cpu.dvfs import (
+    DvfsConfig,
+    DvfsController,
+    ProactiveDvfsConfig,
+    TemperatureDvfsController,
+    dynamic_power_scale,
+)
 from repro.cpu.thermal import ThermalParams
 from repro.cpu.throttle import ThrottleConfig
 from repro.cpu.topology import MachineSpec
@@ -98,6 +104,67 @@ class TestDvfsController:
     def test_throttle_config_mode_validation(self):
         with pytest.raises(ValueError, match="mode"):
             ThrottleConfig(mode="turbo")
+
+    def test_mean_scale_tracks_history(self):
+        ctl = DvfsController(1)
+        ctl.update(0, 45.0, 40.0)   # -> 0.9
+        ctl.update(0, 45.0, 40.0)   # -> 0.8
+        assert ctl.mean_scale(0) == pytest.approx((0.9 + 0.8) / 2)
+
+    def test_mean_scale_full_speed_before_any_tick(self):
+        assert DvfsController(1).mean_scale(0) == 1.0
+
+
+class TestTemperatureDvfsController:
+    def test_defaults_valid(self):
+        config = ProactiveDvfsConfig()
+        assert config.levels[0] == 1.0
+        assert config.target_margin_c > 0
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            ProactiveDvfsConfig(levels=(1.0, 1.1))
+        with pytest.raises(ValueError):
+            ProactiveDvfsConfig(target_margin_c=-1.0)
+        with pytest.raises(ValueError):
+            ProactiveDvfsConfig(step_up_margin_c=0.0)
+
+    def test_steps_down_above_target(self):
+        ctl = TemperatureDvfsController(1)
+        assert ctl.update(0, est_temp_c=70.0, target_c=65.0) == 0.9
+        assert ctl.update(0, 70.0, 65.0) == 0.8
+
+    def test_steps_up_below_target_minus_margin(self):
+        ctl = TemperatureDvfsController(
+            1, ProactiveDvfsConfig(step_up_margin_c=1.0)
+        )
+        ctl.update(0, 70.0, 65.0)
+        assert ctl.scale(0) == 0.9
+        assert ctl.update(0, 60.0, 65.0) == 1.0
+
+    def test_holds_inside_band(self):
+        ctl = TemperatureDvfsController(
+            1, ProactiveDvfsConfig(step_up_margin_c=1.0)
+        )
+        ctl.update(0, 70.0, 65.0)
+        assert ctl.update(0, 64.5, 65.0) == 0.9
+
+    def test_saturates_at_lowest_level(self):
+        ctl = TemperatureDvfsController(1)
+        for _ in range(20):
+            scale = ctl.update(0, 100.0, 65.0)
+        assert scale == min(ProactiveDvfsConfig().levels)
+
+    def test_accounting_mirrors_reactive(self):
+        ctl = TemperatureDvfsController(1)
+        ctl.update(0, 70.0, 65.0)
+        ctl.update(0, 60.0, 65.0)
+        assert ctl.scaled_fraction(0) == pytest.approx(0.5)
+        assert ctl.mean_scale(0) == pytest.approx((0.9 + 1.0) / 2)
+
+    def test_rejects_zero_cpus(self):
+        with pytest.raises(ValueError):
+            TemperatureDvfsController(0)
 
 
 class TestDvfsIntegration:

@@ -1,0 +1,141 @@
+"""The DVFS policy family: wiring, physics, and path equivalence.
+
+Every variant must satisfy the repo's two standing bars — the fast path
+is byte-identical to the scalar reference, and a validated run records
+zero invariant violations (including the frequency-aware Eq. 1 energy
+invariant) — plus the behaviour that motivates it: reactive tracks the
+power limit, proactive scales *before* throttle territory, and the
+hybrid keeps hot-CPU migration in the lever set.
+"""
+
+import json
+
+import pytest
+
+from repro.api import run_simulation
+from repro.config import SystemConfig
+from repro.cpu.topology import MachineSpec
+from repro.system import System
+from repro.workloads.generator import mixed_table2_workload
+
+DVFS_POLICIES = ("dvfs-reactive", "dvfs-proactive", "dvfs-hybrid")
+
+
+def capped_config(**kwargs):
+    defaults = dict(
+        machine=MachineSpec.ibm_x445(smt=True),
+        max_power_per_cpu_w=20.0,
+        seed=13,
+    )
+    defaults.update(kwargs)
+    return SystemConfig(**defaults)
+
+
+def run(policy, duration_s=8.0, fast_path=True, validate=False, config=None):
+    return run_simulation(
+        config if config is not None else capped_config(),
+        mixed_table2_workload(6),
+        policy=policy, duration_s=duration_s, fast_path=fast_path,
+        validate=validate,
+    )
+
+
+class TestPathEquivalence:
+    @pytest.mark.parametrize("policy", DVFS_POLICIES)
+    def test_fast_path_byte_identical(self, policy):
+        fast = run(policy).scalar_summary()
+        scalar = run(policy, fast_path=False).scalar_summary()
+        assert (json.dumps(fast, sort_keys=True)
+                == json.dumps(scalar, sort_keys=True))
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("policy", DVFS_POLICIES)
+    def test_validated_run_is_clean(self, policy):
+        result = run(policy, validate=True)
+        assert result.violations == []
+        ran = result.system.validator.checks_run
+        assert ran.get("dvfs-energy-accounting", 0) > 0
+
+    def test_scalar_path_clean_too(self):
+        result = run("dvfs-reactive", duration_s=3.0, fast_path=False,
+                     validate=True)
+        assert result.violations == []
+
+
+class TestPolicyWiring:
+    def test_dvfs_policies_force_dvfs_throttle_mode(self):
+        for policy in DVFS_POLICIES:
+            result = run(policy, duration_s=0.5)
+            config = result.system.config
+            assert config.throttle.enabled
+            assert config.throttle.mode == "dvfs"
+
+    def test_hybrid_keeps_hot_migration(self):
+        hybrid = System(capped_config(), mixed_table2_workload(1),
+                        policy="dvfs-hybrid")
+        pure = System(capped_config(), mixed_table2_workload(1),
+                      policy="dvfs-reactive")
+        assert hybrid.policy.config.enable_hot_migration
+        assert not pure.policy.config.enable_hot_migration
+
+    def test_hlt_throttle_policy_forces_hlt(self):
+        result = run("hlt-throttle", duration_s=0.5)
+        assert result.system.config.throttle.enabled
+        assert result.system.config.throttle.mode == "hlt"
+
+    def test_plain_energy_policy_untouched(self):
+        result = run("energy", duration_s=0.5)
+        assert not result.system.config.throttle.enabled
+
+
+class TestBehaviour:
+    def test_reactive_scales_under_pressure(self):
+        result = run("dvfs-reactive", duration_s=30.0)
+        assert result.average_dvfs_scaled_fraction() > 0.0
+        assert result.average_frequency_scale() < 1.0
+        # DVFS replaces duty-cycling: no hlt throttle ticks at all.
+        assert result.average_throttle_fraction() == 0.0
+
+    def test_proactive_scales_earlier_than_reactive(self):
+        """Tracking the temperature estimate reacts before the chip
+        reaches throttle territory, so more of the run is scaled."""
+        proactive = run("dvfs-proactive", duration_s=30.0)
+        reactive = run("dvfs-reactive", duration_s=30.0)
+        assert (proactive.average_dvfs_scaled_fraction()
+                > reactive.average_dvfs_scaled_fraction())
+        assert (proactive.average_frequency_scale()
+                < reactive.average_frequency_scale())
+
+    def test_proactive_saves_energy(self):
+        proactive = run("dvfs-proactive", duration_s=30.0)
+        baseline = run("hlt-throttle", duration_s=30.0)
+        assert proactive.total_energy_j() < baseline.total_energy_j()
+
+
+class TestEnergyAccounting:
+    def test_energy_matches_power_integral(self):
+        result = run("energy", duration_s=5.0,
+                     config=capped_config(max_power_per_cpu_w=60.0))
+        total = result.total_energy_j()
+        assert total > 0
+        n_packages = result.system.config.machine.n_packages
+        assert total == pytest.approx(
+            sum(result.package_energy_j(p) for p in range(n_packages))
+        )
+        # Mean estimated power over the run must be physically sensible
+        # for a 16-logical-CPU box: positive, below the machine budget.
+        mean_w = total / 5.0
+        assert 10.0 < mean_w < 16 * 60.0
+
+    def test_summary_exposes_energy_keys(self):
+        scalars = run("dvfs-reactive", duration_s=1.0).scalar_summary()
+        assert "total_energy_j" in scalars
+        assert "average_frequency_scale" in scalars
+        assert "average_dvfs_scaled_fraction" in scalars
+
+    def test_unscaled_run_reports_full_frequency(self):
+        result = run("baseline", duration_s=1.0,
+                     config=capped_config(max_power_per_cpu_w=60.0))
+        assert result.average_frequency_scale() == 1.0
+        assert result.average_dvfs_scaled_fraction() == 0.0

@@ -69,7 +69,7 @@ class TestRegistry:
     def test_registry_names_unique(self):
         names = [inv.name for inv in REGISTRY]
         assert len(names) == len(set(names))
-        assert len(REGISTRY) == 13
+        assert len(REGISTRY) == 14
 
     def test_lookup_and_unknown(self):
         assert invariant_by_name("counter-bounds").kind == "tick"

@@ -16,6 +16,12 @@ build failures instead of review comments:
    ``docs/architecture.md`` — the architecture doc is the map, and a
    subsystem missing from the map is invisible to new readers.
 
+3. **Stale tournament leaderboards.** The policy table in
+   ``docs/policies.md`` (rank, mean energy to one decimal kJ, jobs/min
+   to two decimals, throttle %, frequency scale, wins) must match the
+   committed ``BENCH_policies.json``. Regenerate the table after
+   ``python -m repro tournament``.
+
 Run: python tools/check_docs.py   (exit 1 on any drift)
 """
 
@@ -28,8 +34,10 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 BENCH = REPO / "BENCH_perf.json"
+BENCH_POLICIES = REPO / "BENCH_policies.json"
 PERF_DOC = REPO / "docs" / "performance.md"
 ARCH_DOC = REPO / "docs" / "architecture.md"
+POLICIES_DOC = REPO / "docs" / "policies.md"
 
 errors: list[str] = []
 
@@ -91,6 +99,36 @@ def check_perf_numbers() -> None:
             _fmt(headline["fast_ticks_per_s"], 100))
 
 
+def check_policy_numbers() -> None:
+    bench = json.loads(BENCH_POLICIES.read_text())
+    doc_text = POLICIES_DOC.read_text()
+    for row in bench["leaderboard"]:
+        expected = (
+            f"| {row['rank']} | {row['policy']} "
+            f"| {row['mean_energy_j'] / 1000.0:.1f} "
+            f"| {row['mean_jobs_per_min']:.2f} "
+            f"| {row['mean_throttle_fraction'] * 100.0:.1f} "
+            f"| {row['mean_frequency_scale']:.3f} "
+            f"| {row['wins']} |"
+        )
+        if expected not in doc_text:
+            errors.append(
+                f"{POLICIES_DOC.name}: leaderboard row for "
+                f"{row['policy']!r} missing or stale — expected "
+                f"{expected!r} (regenerate after 'python -m repro "
+                "tournament')"
+            )
+    # The doc must not list policies the payload doesn't know.
+    doc_rows = re.findall(r"^\| \d+ \| ([a-z-]+) \|", doc_text, re.M)
+    known = {row["policy"] for row in bench["leaderboard"]}
+    for name in doc_rows:
+        if name not in known:
+            errors.append(
+                f"{POLICIES_DOC.name}: leaderboard lists {name!r}, which "
+                "BENCH_policies.json does not rank"
+            )
+
+
 def check_subpackage_coverage() -> None:
     arch_text = ARCH_DOC.read_text()
     pkg_root = REPO / "src" / "repro"
@@ -108,12 +146,14 @@ def check_subpackage_coverage() -> None:
 
 def main() -> int:
     check_perf_numbers()
+    check_policy_numbers()
     check_subpackage_coverage()
     if errors:
         for err in errors:
             print(f"error: {err}", file=sys.stderr)
         return 1
-    print("docs are consistent with BENCH_perf.json and src/repro/")
+    print("docs are consistent with BENCH_perf.json, "
+          "BENCH_policies.json, and src/repro/")
     return 0
 
 

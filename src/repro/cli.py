@@ -184,6 +184,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sweep a scenario JSON file over the seed set "
                             "instead of a registry experiment (scenario "
                             "sweeps are what --engine fleet vectorizes)")
+    sweep.add_argument("--family", default=None, metavar="NAME",
+                       help="sweep a scenario generator family (see "
+                            "'scenarios') over the seed set: each seed "
+                            "generates its own instance via the "
+                            "top-level scenario seed")
+    sweep.add_argument("--family-params", default=None, metavar="JSON",
+                       help="generator parameter overrides as a JSON "
+                            "object (only with --family)")
     sweep.add_argument("--seeds", default="1..5", metavar="SET",
                        help="seed set: '1..10', '1,3,5', or one integer "
                             "(default: 1..5)")
@@ -192,6 +200,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulated duration per job (default: the "
                             "experiment's quick-look value)")
     _add_runner_options(sweep)
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="list the scenario generator families, or instantiate one "
+             "as scenario JSON",
+    )
+    scenarios.add_argument("family", nargs="?", default=None,
+                           help="family to instantiate (default: print "
+                                "the catalog)")
+    scenarios.add_argument("--params", default=None, metavar="JSON",
+                           help="parameter overrides as a JSON object")
+    scenarios.add_argument("--seed", type=int, default=1, metavar="N",
+                           help="generator seed (default: 1)")
+    scenarios.add_argument("--digest", action="store_true",
+                           help="print only the spec's canonical SHA-256 "
+                                "digest")
 
     batch = sub.add_parser(
         "batch", help="run a JSON grid of experiments/scenarios × seeds"
@@ -507,10 +531,41 @@ def _cmd_sweep(parser, args) -> int:
     from repro.analysis.stats import summarize_scalars
     from repro.runner import sweep_specs
 
+    if args.family_params is not None and args.family is None:
+        parser.error("--family-params requires --family")
     if args.resume is not None:
         specs, meta_args = _resume_specs(parser, args, "sweep")
         experiment = (args.experiment or meta_args.get("experiment")
                       or (specs[0].experiment if specs else "sweep"))
+    elif args.family is not None:
+        if args.experiment is not None or args.scenario is not None:
+            parser.error("give an experiment name, --scenario, or "
+                         "--family, not several")
+        from repro.runner import JobSpec, parse_seeds
+        from repro.scenarios import GeneratorSpec
+
+        params = {}
+        if args.family_params is not None:
+            try:
+                params = json.loads(args.family_params)
+            except ValueError as exc:
+                parser.error(f"bad --family-params JSON: {exc}")
+            if not isinstance(params, dict):
+                parser.error("--family-params must be a JSON object")
+        try:
+            # Validate family + params once, up front; the per-seed
+            # instances are expanded inside each job from the same spec.
+            GeneratorSpec(args.family, params, seed=1)
+            data = {"generator": {"family": args.family}}
+            if params:
+                data["generator"]["params"] = params
+            specs = [
+                JobSpec(scenario=data, seed=seed, duration_s=args.duration)
+                for seed in parse_seeds(args.seeds)
+            ]
+        except ValueError as exc:
+            parser.error(str(exc))
+        experiment = args.family
     elif args.scenario is not None:
         if args.experiment is not None:
             parser.error("give an experiment name or --scenario, not both")
@@ -918,6 +973,43 @@ def _cmd_explain(parser, args) -> int:
     return 0
 
 
+def _cmd_scenarios(parser, args) -> int:
+    from repro.scenarios import GeneratorSpec, family_by_name, family_names
+
+    if args.family is None:
+        if args.params is not None or args.digest:
+            parser.error("--params/--digest need a family to instantiate")
+        names = family_names()
+        width = max(len(name) for name in names)
+        for name in names:
+            family = family_by_name(name)
+            tags = []
+            if family.fleet_eligible:
+                tags.append("fleet")
+            if family.adversarial:
+                tags.append("adversarial")
+            suffix = f" [{', '.join(tags)}]" if tags else ""
+            print(f"{name:<{width}}  {family.description}{suffix}")
+        return 0
+    params = {}
+    if args.params is not None:
+        try:
+            params = json.loads(args.params)
+        except ValueError as exc:
+            parser.error(f"bad --params JSON: {exc}")
+        if not isinstance(params, dict):
+            parser.error("--params must be a JSON object")
+    try:
+        spec = GeneratorSpec(args.family, params, seed=args.seed)
+        if args.digest:
+            print(spec.digest())
+            return 0
+        print(json.dumps(spec.instantiate(), indent=2, sort_keys=True))
+    except ValueError as exc:
+        parser.error(str(exc))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -978,6 +1070,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "sweep":
         return _cmd_sweep(parser, args)
+    if args.command == "scenarios":
+        return _cmd_scenarios(parser, args)
     if args.command == "batch":
         return _cmd_batch(parser, args)
     if args.command == "perf":

@@ -67,6 +67,57 @@ class _Mixed16(PerfScenario):
         return SystemConfig(**kwargs), mixed_table2_workload(self.slots_per_class)
 
 
+@dataclass(frozen=True, slots=True)
+class GeneratedScenario(PerfScenario):
+    """A pinned instance of a :mod:`repro.scenarios` generator family.
+
+    The (family, params, seed) triple fully determines the workload —
+    generation is seed-deterministic and JSON-canonical — so these
+    entries are as byte-stable as the hand-written ones.  ``params``
+    is a tuple of pairs to keep the dataclass hashable.
+    """
+
+    family: str = "thermal-adversarial"
+    params: tuple[tuple[str, object], ...] = ()
+    generator_seed: int = 1
+
+    def build(self) -> tuple[SystemConfig, WorkloadSpec]:
+        from repro.scenarios import GeneratorSpec
+
+        spec = GeneratorSpec(
+            self.family, dict(self.params), seed=self.generator_seed
+        )
+        scenario = spec.build()
+        return scenario.config, scenario.workload
+
+
+#: The two worst offenders found by ``tools/find_adversarial.py``
+#: (seeded search over the thermal-adversarial family, ranked by
+#: migrations/s x throttle fraction).  Both exceed every static
+#: Table-2 mix above on migrations/s AND throttle fraction at 60 s —
+#: asserted by ``tests/test_scenarios_adversarial.py``.
+_ADV_PINGPONG_PARAMS = (
+    ("budget_w", 18.0),
+    ("phase_scale", 0.1),
+    ("duty", 0.9),
+    ("hot_jobs", 10),
+    ("cool_fill", 20),
+    ("rotate_groups", 4),
+    ("jitter", 0.0),
+    ("horizon_s", 60.0),
+)
+_ADV_STORM_PARAMS = (
+    ("budget_w", 15.0),
+    ("phase_scale", 0.12),
+    ("duty", 0.9),
+    ("hot_jobs", 10),
+    ("cool_fill", 20),
+    ("rotate_groups", 4),
+    ("jitter", 0.0),
+    ("horizon_s", 60.0),
+)
+
+
 #: The scenario the speedup target is defined on: 16 logical CPUs, the
 #: Table 2 mixed workload, energy-aware balancing.
 HEADLINE_SCENARIO = "mixed-16cpu"
@@ -119,6 +170,26 @@ REFERENCE_SCENARIOS: tuple[PerfScenario, ...] = (
         seed=13,
         max_power_per_cpu_w=20.0,
         throttle_mode="dvfs",
+    ),
+    GeneratedScenario(
+        name="adv-pingpong",
+        description=(
+            "Adversarial hot/cool rotation (18 W budget, 2 s dwell, "
+            "4 CPU blocks) maximizing migration ping-pong"
+        ),
+        policy=Policy.ENERGY,
+        duration_s=60.0,
+        params=_ADV_PINGPONG_PARAMS,
+    ),
+    GeneratedScenario(
+        name="adv-throttle-storm",
+        description=(
+            "Adversarial hot/cool rotation (15 W budget, 2.4 s dwell, "
+            "4 CPU blocks) maximizing hlt throttle storms"
+        ),
+        policy=Policy.ENERGY,
+        duration_s=60.0,
+        params=_ADV_STORM_PARAMS,
     ),
 )
 

@@ -182,7 +182,18 @@ def _parse_workload(spec: dict) -> WorkloadSpec:
 
 
 def parse_scenario(data: dict) -> Scenario:
-    """Build a runnable scenario from a parsed JSON object."""
+    """Build a runnable scenario from a parsed JSON object.
+
+    A dict carrying a top-level ``generator`` key is expanded through
+    the scenario registry first (:mod:`repro.scenarios`): the named
+    family generates the base scenario from the spec's seed, and the
+    dict's remaining keys override it.  The import is lazy because
+    ``repro.scenarios`` builds on this module.
+    """
+    if "generator" in data:
+        from repro.scenarios import expand_generated
+
+        data = expand_generated(data)
     machine = _parse_machine(data.get("machine", {"preset": "ibm_x445"}))
     throttle_spec = data.get("throttle", {})
     throttle = ThrottleConfig(

@@ -1,0 +1,58 @@
+"""Scenario registry + generator DSL (see ``docs/scenarios.md``).
+
+Declarative, seed-deterministic workload generation: a
+:class:`GeneratorSpec` (family name + parameter overrides + seed)
+expands to the exact JSON shape :func:`repro.scenario.parse_scenario`
+accepts, via a family registered here.  Scenario files and grids opt
+in with a top-level ``generator`` key; ``repro scenarios`` lists the
+catalog from the command line.
+
+Importing this package registers the built-in families:
+
+* ``poisson`` / ``bursty`` — open-loop arrival processes with
+  fork/exit churn (:mod:`repro.scenarios.arrivals`);
+* ``sporadic`` — minimum-inter-arrival + WCET real-time task sets
+  (:mod:`repro.scenarios.sporadic`);
+* ``thermal-adversarial`` — engineered hot/cool alternation tuned to
+  the §4.2 RC constants (:mod:`repro.scenarios.adversarial`), plus
+  :func:`adversarial_search` for ranking instances by observed
+  migrations and throttling.
+"""
+
+from repro.scenarios.registry import (
+    MACHINE_PRESETS,
+    GeneratorSpec,
+    ScenarioFamily,
+    expand_generated,
+    family_by_name,
+    family_names,
+    generate_scenario,
+    machine_dict,
+    register_family,
+)
+
+# Importing the family modules registers them (import order is the
+# catalog order shown by `repro scenarios` and docs/scenarios.md).
+from repro.scenarios import arrivals as _arrivals  # noqa: F401
+from repro.scenarios import sporadic as _sporadic  # noqa: F401
+from repro.scenarios import adversarial as _adversarial  # noqa: F401
+from repro.scenarios.adversarial import (
+    TAU_S,
+    SearchResult,
+    adversarial_search,
+)
+
+__all__ = [
+    "MACHINE_PRESETS",
+    "TAU_S",
+    "GeneratorSpec",
+    "ScenarioFamily",
+    "SearchResult",
+    "adversarial_search",
+    "expand_generated",
+    "family_by_name",
+    "family_names",
+    "generate_scenario",
+    "machine_dict",
+    "register_family",
+]

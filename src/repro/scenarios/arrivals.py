@@ -1,0 +1,227 @@
+"""Open-loop arrival-process workload families (poisson, bursty).
+
+The paper's experiments run *closed-loop* slots: a fixed population of
+tasks where a new job starts the moment the previous one finishes.
+Real systems see the opposite — an open loop where work arrives on its
+own schedule, forks a fresh task, runs, and exits.  These families
+model that with the existing churn machinery: every arrival becomes a
+:class:`~repro.workloads.generator.TaskSpec` with ``respawn="none"``
+(run one job through the fork/exec placement path (§4.6), then exit),
+an arrival time drawn from the process, and a service time drawn from
+an exponential.
+
+``poisson`` is the memoryless open loop: exponential inter-arrivals at
+a constant rate.  ``bursty`` modulates the rate sinusoidally —
+a diurnal load curve compressed to simulation scale — via Lewis &
+Shedler thinning: candidates are drawn at the peak rate and accepted
+with probability ``rate(t)/rate_max``, which keeps the draw count (and
+therefore determinism) a pure function of the spec stream.
+
+Both families pin ``counter_jitter_sigma`` and power ``noise_sigma``
+to zero and leave throttling off, so their instances are fleet-eligible
+(:func:`repro.fleet.check_fleet_supported`) and sweeps over them can
+pack onto the vectorized engine.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Mapping
+
+from repro.scenarios.registry import (
+    ScenarioFamily,
+    machine_dict,
+    register_family,
+    require_int,
+    require_number,
+    require_programs,
+)
+
+#: The six Table-2 programs — the default population arriving work is
+#: drawn from.
+TABLE2_PROGRAMS: tuple[str, ...] = (
+    "bitcnts", "memrw", "aluadd", "pushpop", "openssl", "bzip2",
+)
+
+#: Scenario keys shared by the open-loop families: paper budget, noise
+#: pinned to zero (fleet eligibility + one fewer source of run-to-run
+#: spread in sweep aggregates).
+_OPEN_LOOP_BASE: Mapping[str, Any] = {
+    "max_power_per_cpu_w": 60.0,
+    "counter_jitter_sigma": 0.0,
+    "power": {"noise_sigma": 0.0},
+    "policy": "energy",
+}
+
+
+def _service_s(
+    rng: random.Random, mean_job_s: float, min_job_s: float
+) -> float:
+    """One exponential service time, floored at ``min_job_s``."""
+    return round(max(min_job_s, rng.expovariate(1.0 / mean_job_s)), 6)
+
+
+def _churn_task(
+    rng: random.Random,
+    programs: list[str],
+    arrival_s: float,
+    mean_job_s: float,
+    min_job_s: float,
+) -> dict[str, Any]:
+    """One fork-run-exit task for an arrival at ``arrival_s``."""
+    return {
+        "program": rng.choice(programs),
+        "arrival_s": round(arrival_s, 6),
+        "solo_job_s": _service_s(rng, mean_job_s, min_job_s),
+        "respawn": "none",
+    }
+
+
+def _backlog_tasks(
+    rng: random.Random, programs: list[str], backlog: int
+) -> list[dict[str, Any]]:
+    """Persistent closed-loop tasks keeping the machine from idling."""
+    return [
+        {"program": rng.choice(programs), "arrival_s": 0.0}
+        for _ in range(backlog)
+    ]
+
+
+def _open_loop_scenario(
+    name: str,
+    machine: str,
+    tasks: list[dict[str, Any]],
+    horizon_s: float,
+) -> dict[str, Any]:
+    if not tasks:
+        raise ValueError(
+            f"{name}: generated no tasks — raise the rate, the horizon, "
+            f"or the backlog"
+        )
+    scenario: dict[str, Any] = {"machine": machine_dict(machine)}
+    scenario.update(_OPEN_LOOP_BASE)
+    scenario["workload"] = {"name": name, "tasks": tasks}
+    scenario["duration_s"] = horizon_s
+    return scenario
+
+
+# ---------------------------------------------------------------------------
+# poisson: constant-rate open loop
+# ---------------------------------------------------------------------------
+
+def _generate_poisson(
+    params: Mapping[str, Any], rng: random.Random
+) -> dict[str, Any]:
+    fam = "poisson"
+    machine = str(params["machine"])
+    rate = require_number(fam, "rate_per_s", params["rate_per_s"],
+                          positive=True, maximum=1000.0)
+    horizon = require_number(fam, "horizon_s", params["horizon_s"],
+                             positive=True, maximum=3600.0)
+    mean_job = require_number(fam, "mean_job_s", params["mean_job_s"],
+                              positive=True)
+    min_job = require_number(fam, "min_job_s", params["min_job_s"],
+                             positive=True)
+    backlog = require_int(fam, "backlog", params["backlog"])
+    programs = require_programs(fam, "programs", params["programs"])
+
+    tasks = _backlog_tasks(rng, programs, backlog)
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate)
+        if t >= horizon:
+            break
+        tasks.append(_churn_task(rng, programs, t, mean_job, min_job))
+    return _open_loop_scenario(
+        f"poisson-r{rate:g}", machine, tasks, horizon
+    )
+
+
+register_family(ScenarioFamily(
+    name="poisson",
+    description=(
+        "Open-loop Poisson arrivals: fork/exit task churn at a constant "
+        "rate with exponential service times over a persistent backlog."
+    ),
+    defaults={
+        "machine": "ibm_x445",
+        "rate_per_s": 2.0,
+        "mean_job_s": 4.0,
+        "min_job_s": 0.5,
+        "horizon_s": 30.0,
+        "backlog": 2,
+        "programs": list(TABLE2_PROGRAMS),
+    },
+    generate=_generate_poisson,
+    fleet_eligible=True,
+))
+
+
+# ---------------------------------------------------------------------------
+# bursty: sinusoidally modulated (diurnal) open loop
+# ---------------------------------------------------------------------------
+
+def _generate_bursty(
+    params: Mapping[str, Any], rng: random.Random
+) -> dict[str, Any]:
+    fam = "bursty"
+    machine = str(params["machine"])
+    base = require_number(fam, "base_rate_per_s", params["base_rate_per_s"],
+                          positive=True, maximum=1000.0)
+    depth = require_number(fam, "depth", params["depth"],
+                           minimum=0.0, maximum=1.0)
+    period = require_number(fam, "period_s", params["period_s"],
+                            positive=True)
+    phase = require_number(fam, "phase", params["phase"],
+                           minimum=0.0, maximum=1.0)
+    horizon = require_number(fam, "horizon_s", params["horizon_s"],
+                             positive=True, maximum=3600.0)
+    mean_job = require_number(fam, "mean_job_s", params["mean_job_s"],
+                              positive=True)
+    min_job = require_number(fam, "min_job_s", params["min_job_s"],
+                             positive=True)
+    backlog = require_int(fam, "backlog", params["backlog"])
+    programs = require_programs(fam, "programs", params["programs"])
+
+    tasks = _backlog_tasks(rng, programs, backlog)
+    rate_max = base * (1.0 + depth)
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate_max)
+        if t >= horizon:
+            break
+        rate_t = base * (
+            1.0 + depth * math.sin(2.0 * math.pi * (t / period + phase))
+        )
+        # Thinning: the acceptance draw happens for every candidate, so
+        # the stream position depends only on the candidate count.
+        if rng.random() * rate_max <= rate_t:
+            tasks.append(_churn_task(rng, programs, t, mean_job, min_job))
+    return _open_loop_scenario(
+        f"bursty-r{base:g}-d{depth:g}", machine, tasks, horizon
+    )
+
+
+register_family(ScenarioFamily(
+    name="bursty",
+    description=(
+        "Bursty/diurnal arrivals: a Poisson process whose rate swings "
+        "sinusoidally (depth x base rate) over the period — rush hours "
+        "and troughs compressed to simulation scale."
+    ),
+    defaults={
+        "machine": "ibm_x445",
+        "base_rate_per_s": 2.5,
+        "depth": 0.8,
+        "period_s": 20.0,
+        "phase": 0.0,
+        "mean_job_s": 3.0,
+        "min_job_s": 0.5,
+        "horizon_s": 40.0,
+        "backlog": 2,
+        "programs": list(TABLE2_PROGRAMS),
+    },
+    generate=_generate_bursty,
+    fleet_eligible=True,
+))

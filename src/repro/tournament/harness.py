@@ -4,7 +4,7 @@ The paper's machine has no frequency scaling (§2.3), so its policies
 answer thermal pressure with migration and ``hlt`` alone; the DVFS
 family models the lever the hardware lacked.  The tournament quantifies
 that design space: it races every policy in
-:data:`~repro.core.policyspec.POLICY_REGISTRY` across the six pinned
+:data:`~repro.core.policyspec.POLICY_REGISTRY` across the eight pinned
 benchmark configurations and emits one deterministic leaderboard,
 ``BENCH_policies.json``.
 
@@ -16,13 +16,16 @@ byte-compares the scalar summaries — so a fast-path regression in any
 policy regime fails the tournament, not just the pinned-policy perf
 set.
 
-Scenario set: the six pinned perf configurations (same machines, seeds,
-workloads, and power budgets as ``repro.perf.scenarios``), minus their
-pinned policies — the policy axis belongs to the tournament.  Because
-``mixed-16cpu`` and ``mixed-16cpu-baseline`` differed only by pinned
-policy, their tournament columns share a configuration; the duplicate
-is kept deliberately — the two columns are computed independently and
-must agree exactly, a determinism cross-check inside the payload.
+Scenario set: the eight pinned perf configurations (same machines,
+seeds, workloads, and power budgets as ``repro.perf.scenarios``), minus
+their pinned policies — the policy axis belongs to the tournament.
+Because ``mixed-16cpu`` and ``mixed-16cpu-baseline`` differed only by
+pinned policy, their tournament columns share a configuration; the
+duplicate is kept deliberately — the two columns are computed
+independently and must agree exactly, a determinism cross-check inside
+the payload.  The two ``adv-*`` columns are :mod:`repro.scenarios`
+generator specs (the adversarial worst offenders); their cells expand
+the spec deterministically at run time.
 """
 
 from __future__ import annotations
@@ -126,6 +129,50 @@ TOURNAMENT_SCENARIOS: tuple[TournamentScenario, ...] = (
         description="16-CPU SMT, 20 W per logical CPU budget, seed 13",
         scenario=_mixed16("throttle-dvfs", seed=13, max_power_per_cpu_w=20.0,
                           throttle_scope="logical"),
+    ),
+    # The two adversarial worst offenders from repro.scenarios (same
+    # generator specs as the pinned perf entries).  The dict stays the
+    # *unexpanded* generator form — cell JobSpecs hash the spec, not the
+    # expanded task list, so cache keys are stable and tiny.  The
+    # tournament strips the generated policy/duration like any other
+    # scenario keys it owns.
+    TournamentScenario(
+        name="adv-pingpong",
+        description=(
+            "Adversarial hot/cool rotation (18 W budget, 4 CPU blocks), "
+            "migration ping-pong worst case"
+        ),
+        scenario={
+            "name": "adv-pingpong",
+            "generator": {
+                "family": "thermal-adversarial",
+                "seed": 1,
+                "params": {
+                    "budget_w": 18.0, "phase_scale": 0.1, "duty": 0.9,
+                    "hot_jobs": 10, "cool_fill": 20, "rotate_groups": 4,
+                    "jitter": 0.0, "horizon_s": 60.0,
+                },
+            },
+        },
+    ),
+    TournamentScenario(
+        name="adv-throttle-storm",
+        description=(
+            "Adversarial hot/cool rotation (15 W budget, 4 CPU blocks), "
+            "hlt throttle-storm worst case"
+        ),
+        scenario={
+            "name": "adv-throttle-storm",
+            "generator": {
+                "family": "thermal-adversarial",
+                "seed": 1,
+                "params": {
+                    "budget_w": 15.0, "phase_scale": 0.12, "duty": 0.9,
+                    "hot_jobs": 10, "cool_fill": 20, "rotate_groups": 4,
+                    "jitter": 0.0, "horizon_s": 60.0,
+                },
+            },
+        },
     ),
 )
 

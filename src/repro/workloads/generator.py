@@ -15,6 +15,7 @@ next job (the long-running experiments).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.sched.priorities import validate_nice
@@ -54,17 +55,35 @@ class TaskSpec:
     power_cap_w: float | None = None
 
     def __post_init__(self) -> None:
-        if self.arrival_s < 0:
-            raise ValueError("arrival time must be non-negative")
-        if self.solo_job_s is not None and self.solo_job_s <= 0:
-            raise ValueError("solo job duration must be positive")
+        # NaN compares False against every bound, so each numeric check
+        # requires finiteness explicitly — a NaN arrival or duration
+        # would otherwise wander into the tick loop and poison every
+        # derived quantity (same failure mode as the Tracer interval
+        # fix).
+        if not math.isfinite(self.arrival_s) or self.arrival_s < 0:
+            raise ValueError(
+                f"arrival time must be finite and non-negative, "
+                f"got {self.arrival_s!r}"
+            )
+        if self.solo_job_s is not None and not (
+            math.isfinite(self.solo_job_s) and self.solo_job_s > 0
+        ):
+            raise ValueError(
+                f"solo job duration must be finite and positive, "
+                f"got {self.solo_job_s!r}"
+            )
         if self.respawn not in ("restart_same", "fork_new", "none"):
             raise ValueError(f"unknown respawn mode {self.respawn!r}")
         validate_nice(self.nice)
         if self.cpus_allowed is not None and not self.cpus_allowed:
             raise ValueError("cpus_allowed must not be empty")
-        if self.power_cap_w is not None and self.power_cap_w <= 0:
-            raise ValueError("power cap must be positive")
+        if self.power_cap_w is not None and not (
+            math.isfinite(self.power_cap_w) and self.power_cap_w > 0
+        ):
+            raise ValueError(
+                f"power cap must be finite and positive, "
+                f"got {self.power_cap_w!r}"
+            )
 
     def job_instructions(self, freq_hz: float) -> float:
         solo_s = self.solo_job_s if self.solo_job_s is not None else self.program.solo_job_s
@@ -134,6 +153,11 @@ def steady_mix_workload(
     """
     from dataclasses import replace as _replace
 
+    if not (math.isfinite(wobble_interval_s) and wobble_interval_s > 0):
+        raise ValueError(
+            f"wobble interval must be finite and positive, "
+            f"got {wobble_interval_s!r}"
+        )
     statics = ("bitcnts", "memrw", "aluadd", "pushpop")
     tasks = [
         TaskSpec(program=_replace(program(name), wobble_interval_s=wobble_interval_s))
@@ -184,6 +208,10 @@ def short_task_storm(
     """
     if total_slots < 1:
         raise ValueError("need at least one slot")
+    if not (math.isfinite(job_s) and job_s > 0):
+        raise ValueError(
+            f"job duration must be finite and positive, got {job_s!r}"
+        )
     tasks = [
         TaskSpec(
             program=PROGRAMS[programs[i % len(programs)]],

@@ -206,3 +206,77 @@ class TestSweepAndBatchCli:
         with pytest.raises(SystemExit):
             main(["batch", str(bad), "--no-cache"])
         assert "grid" in capsys.readouterr().err
+
+
+class TestScenariosCli:
+    def test_catalog_lists_every_family(self, capsys):
+        from repro.scenarios import family_names
+
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in family_names():
+            assert name in out
+        assert "[fleet]" in out and "adversarial" in out
+
+    def test_instantiate_prints_parseable_scenario(self, capsys):
+        from repro.scenario import parse_scenario
+
+        assert main(["scenarios", "poisson", "--seed", "3"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["name"] == "poisson-s3"
+        assert len(parse_scenario(data).workload) >= 1
+
+    def test_digest_is_stable_and_seed_sensitive(self, capsys):
+        assert main(["scenarios", "bursty", "--seed", "1", "--digest"]) == 0
+        first = capsys.readouterr().out
+        assert main(["scenarios", "bursty", "--seed", "1", "--digest"]) == 0
+        assert capsys.readouterr().out == first
+        assert main(["scenarios", "bursty", "--seed", "2", "--digest"]) == 0
+        assert capsys.readouterr().out != first
+
+    def test_params_override_round_trips(self, capsys):
+        assert main(["scenarios", "sporadic", "--params",
+                     '{"n_tasks": 3, "horizon_s": 20.0}']) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["workload"]["tasks"]) >= 3
+
+    def test_unknown_family_errors_with_catalog(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["scenarios", "zipf"])
+        assert "poisson" in capsys.readouterr().err
+
+    def test_bad_params_json_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["scenarios", "poisson", "--params", "{nope"])
+        assert "JSON" in capsys.readouterr().err
+
+    def test_digest_without_family_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["scenarios", "--digest"])
+        assert "family" in capsys.readouterr().err
+
+    def test_sweep_family_end_to_end_deterministic(self, tmp_path, capsys):
+        argv = ["sweep", "--family", "poisson", "--family-params",
+                '{"machine": "smp2", "horizon_s": 2.0}',
+                "--seeds", "1..2", "--duration", "2",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "2 seeds" in first.out
+
+        assert main(argv) == 0  # warm cache, same bytes
+        second = capsys.readouterr()
+        assert second.out == first.out
+
+    def test_sweep_family_conflicts_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "fig9", "--family", "poisson", "--no-cache"])
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(["sweep", "--family-params", "{}", "--no-cache"])
+        assert "--family" in capsys.readouterr().err
+
+    def test_sweep_family_unknown_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--family", "zipf", "--no-cache"])
+        assert "poisson" in capsys.readouterr().err

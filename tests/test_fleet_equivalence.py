@@ -114,3 +114,57 @@ class TestEligibility:
         d = report.to_dict()
         assert d["divergences"] == []
         assert d["n_machines"] == 2
+
+
+class TestGeneratedFamilies:
+    """Generator-family members mixed into a fleet: the arrival families
+    promise fleet eligibility, so their instances must hold byte
+    equivalence just like the hand-written steady mix."""
+
+    @pytest.mark.parametrize("family", ["poisson", "bursty", "sporadic"])
+    def test_generated_members_match_scalar(self, family):
+        from repro.scenarios import GeneratorSpec
+
+        def builder(seed):
+            scenario = GeneratorSpec(
+                family, {"machine": "smp4", "horizon_s": 3.0}, seed=seed
+            ).build()
+            return System(
+                scenario.config, scenario.workload, policy=scenario.policy
+            )
+
+        report = fleet_lockstep(
+            [lambda s=s: builder(s) for s in (1, 2)], n_ticks=N_TICKS
+        )
+        assert report.identical, report.to_dict()
+
+    def test_mixed_fleet_of_families_and_steady_mix(self):
+        from repro.scenarios import GeneratorSpec
+
+        def generated(family, seed):
+            scenario = GeneratorSpec(
+                family, {"machine": "ibm_x445", "horizon_s": 3.0}, seed=seed
+            ).build()
+            return System(
+                scenario.config, scenario.workload, policy=scenario.policy
+            )
+
+        report = fleet_lockstep(
+            [
+                lambda: _build(1, Policy.ENERGY),
+                lambda: generated("poisson", 5),
+                lambda: generated("bursty", 5),
+            ],
+            n_ticks=N_TICKS,
+        )
+        assert report.identical, report.to_dict()
+
+    def test_adversarial_instances_are_rejected(self):
+        from repro.scenarios import GeneratorSpec
+
+        scenario = GeneratorSpec("thermal-adversarial", seed=1).build()
+        with pytest.raises(FleetUnsupported, match="[Tt]hrottl"):
+            check_fleet_supported(
+                System(scenario.config, scenario.workload,
+                       policy=scenario.policy)
+            )

@@ -17,8 +17,8 @@ from repro.tournament.harness import cell_spec
 
 
 class TestScenarioSet:
-    def test_six_pinned_scenarios(self):
-        assert len(TOURNAMENT_SCENARIOS) == 6
+    def test_eight_pinned_scenarios(self):
+        assert len(TOURNAMENT_SCENARIOS) == 8
         names = [s.name for s in TOURNAMENT_SCENARIOS]
         assert len(names) == len(set(names))
 

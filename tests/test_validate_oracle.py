@@ -129,3 +129,27 @@ class TestMetamorphicRelabeling:
             "applicable", "reason", "ok", "energy_a_j", "energy_b_j",
             "jobs_a", "jobs_b",
         }
+
+
+class TestGeneratedScenarios:
+    """The generator families exercise churn shapes (open-loop exits,
+    sporadic releases, rotating affinity) the static mixes never do;
+    the fast/scalar replay must stay byte-identical on them too."""
+
+    @pytest.mark.parametrize("family,params", [
+        ("poisson", {"machine": "smp4", "horizon_s": 3.0}),
+        ("sporadic", {"machine": "smp4", "n_tasks": 4, "utilization": 1.5,
+                      "horizon_s": 4.0}),
+        ("thermal-adversarial", {"machine": "smp4", "hot_jobs": 2,
+                                 "cool_fill": 3, "rotate_groups": 2,
+                                 "horizon_s": 3.0}),
+    ])
+    def test_paths_identical_on_generated_churn(self, family, params):
+        from repro.scenarios import GeneratorSpec
+
+        scenario = GeneratorSpec(family, params, seed=3).build()
+        report = differential_replay(
+            scenario.config, scenario.workload, policy=scenario.policy,
+            duration_s=2.0,
+        )
+        assert report.identical, report.to_dict()

@@ -11,6 +11,7 @@ from repro.workloads.generator import (
     n_copies,
     short_task_storm,
     single_program_workload,
+    steady_mix_workload,
 )
 from repro.workloads.programs import program
 
@@ -37,6 +38,26 @@ class TestTaskSpec:
     )
     def test_validation(self, kwargs):
         with pytest.raises(ValueError):
+            TaskSpec(program=program("bitcnts"), **kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(arrival_s=float("nan")),
+            dict(arrival_s=float("inf")),
+            dict(solo_job_s=float("nan")),
+            dict(solo_job_s=float("inf")),
+            dict(solo_job_s=-2.0),
+            dict(power_cap_w=float("nan")),
+            dict(power_cap_w=float("inf")),
+            dict(power_cap_w=-5.0),
+        ],
+    )
+    def test_rejects_nan_and_non_finite(self, kwargs):
+        """NaN compares False against every bound, so the churn paths
+        must check finiteness explicitly — a NaN arrival/duration/cap
+        must never reach the tick loop."""
+        with pytest.raises(ValueError, match="finite"):
             TaskSpec(program=program("bitcnts"), **kwargs)
 
 
@@ -98,6 +119,20 @@ class TestHomogeneitySweep:
     def test_sweep_rejects_odd_total(self):
         with pytest.raises(ValueError):
             homogeneity_sweep(17)
+
+
+class TestBuilderChurnValidation:
+    """Builder-level NaN/negative rejection (the satellite fix)."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), 0.0, -1.0])
+    def test_steady_mix_rejects_bad_wobble(self, bad):
+        with pytest.raises(ValueError, match="wobble interval"):
+            steady_mix_workload(2, wobble_interval_s=bad)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), 0.0, -0.5])
+    def test_short_task_storm_rejects_bad_job_s(self, bad):
+        with pytest.raises(ValueError, match="job duration"):
+            short_task_storm(total_slots=4, job_s=bad)
 
 
 class TestShortTaskStorm:

@@ -22,6 +22,10 @@ build failures instead of review comments:
    committed ``BENCH_policies.json``. Regenerate the table after
    ``python -m repro tournament``.
 
+4. **Stale scenario-family catalogs.** Every family registered in
+   ``repro.scenarios`` must appear in ``docs/scenarios.md``'s family
+   table, with its fleet-eligibility documented consistently.
+
 Run: python tools/check_docs.py   (exit 1 on any drift)
 """
 
@@ -38,6 +42,7 @@ BENCH_POLICIES = REPO / "BENCH_policies.json"
 PERF_DOC = REPO / "docs" / "performance.md"
 ARCH_DOC = REPO / "docs" / "architecture.md"
 POLICIES_DOC = REPO / "docs" / "policies.md"
+SCENARIOS_DOC = REPO / "docs" / "scenarios.md"
 
 errors: list[str] = []
 
@@ -144,16 +149,48 @@ def check_subpackage_coverage() -> None:
             )
 
 
+def check_scenario_families() -> None:
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.scenarios import family_by_name, family_names
+
+    doc_text = SCENARIOS_DOC.read_text()
+    table_rows = re.findall(r"^\| `([a-z-]+)` \|.*\| (yes|no)",
+                            doc_text, re.M)
+    documented = dict(table_rows)
+    for name in family_names():
+        family = family_by_name(name)
+        if name not in documented:
+            errors.append(
+                f"{SCENARIOS_DOC.name}: registered family {name!r} is "
+                "missing from the family table"
+            )
+            continue
+        eligible = documented[name] == "yes"
+        if eligible != family.fleet_eligible:
+            errors.append(
+                f"{SCENARIOS_DOC.name}: family {name!r} documented as "
+                f"fleet-eligible={eligible} but the registry says "
+                f"{family.fleet_eligible}"
+            )
+    for name in documented:
+        if name not in family_names():
+            errors.append(
+                f"{SCENARIOS_DOC.name}: family table lists {name!r}, "
+                "which is not registered in repro.scenarios"
+            )
+
+
 def main() -> int:
     check_perf_numbers()
     check_policy_numbers()
     check_subpackage_coverage()
+    check_scenario_families()
     if errors:
         for err in errors:
             print(f"error: {err}", file=sys.stderr)
         return 1
     print("docs are consistent with BENCH_perf.json, "
-          "BENCH_policies.json, and src/repro/")
+          "BENCH_policies.json, repro.scenarios, and src/repro/")
     return 0
 
 

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Seeded search for worst-case thermal-adversarial instances.
+
+Thin CLI over :func:`repro.scenarios.adversarial_search`: sample
+``--candidates`` parameter perturbations of the ``thermal-adversarial``
+family from one RNG, simulate each briefly, and rank by
+migrations/s x throttle fraction (worst first).  The whole run is a
+pure function of ``(--candidates, --seed, --duration)`` — re-running
+with the same arguments prints byte-identical output.
+
+The two pinned offenders in ``repro.perf.scenarios``
+(``adv-pingpong``, ``adv-throttle-storm``) came out of this search;
+re-run it after simulator changes to check they are still the worst,
+and pass ``--json`` to get machine-readable specs for pinning::
+
+    python tools/find_adversarial.py --candidates 12 --seed 0 --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.scenarios import adversarial_search  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="rank seeded thermal-adversarial candidates, worst first"
+    )
+    parser.add_argument("--candidates", type=int, default=12,
+                        help="parameter draws to evaluate (default 12)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="search RNG seed (default 0)")
+    parser.add_argument("--duration", type=float, default=20.0,
+                        help="simulated seconds per candidate (default 20)")
+    parser.add_argument("--top", type=int, default=None,
+                        help="only print the N worst")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the ranking as a JSON array")
+    args = parser.parse_args(argv)
+
+    results = adversarial_search(
+        n_candidates=args.candidates,
+        seed=args.seed,
+        duration_s=args.duration,
+    )
+    if args.top is not None:
+        results = results[: args.top]
+
+    if args.json:
+        print(json.dumps([r.to_dict() for r in results], indent=2,
+                         sort_keys=True))
+        return 0
+
+    print(f"adversarial search: {args.candidates} candidates, "
+          f"seed {args.seed}, {args.duration:g} s each\n")
+    print(f"{'rank':>4} {'mig/s':>7} {'thr':>6} {'score':>7}  spec")
+    for rank, result in enumerate(results, start=1):
+        spec = result.spec
+        params = json.dumps(dict(spec.params), sort_keys=True)
+        print(f"{rank:>4} {result.migrations_per_s:>7.2f} "
+              f"{result.throttle_fraction:>6.3f} {result.score:>7.3f}  "
+              f"seed={spec.seed} {params}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -111,8 +111,28 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
                              "advance N machines per tick (ineligible jobs "
                              "fall back to the pool; results are "
                              "byte-identical either way)")
+    _add_telemetry_options(parser)
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON instead of tables")
+
+
+def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
+    """Live-telemetry options shared by sweep/batch/tournament.
+
+    Both are off by default and telemetry-only: deterministic outputs
+    (stdout, cache entries, journals) are byte-identical either way.
+    """
+    parser.add_argument("--serve-metrics", nargs="?", const=0, type=int,
+                        default=None, metavar="PORT", dest="serve_metrics",
+                        help="serve live run telemetry over HTTP on "
+                             "127.0.0.1 while the run executes (/metrics "
+                             "Prometheus text, /snapshot JSON, /events; "
+                             "PORT omitted: an ephemeral port, printed to "
+                             "stderr; watch it with 'repro top')")
+    parser.add_argument("--events", default=None, metavar="PATH",
+                        help="append every run event to PATH as one JSON "
+                             "line each (crash-safe: flushed and fsynced "
+                             "per event)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -243,6 +263,25 @@ def build_parser() -> argparse.ArgumentParser:
                            "clock counts (default: 2)")
     perf.add_argument("--output", default="BENCH_perf.json", metavar="PATH",
                       help="result file (default: BENCH_perf.json)")
+    perf.add_argument("--history", default=None, metavar="PATH",
+                      help="perf-history ledger to append to (default: "
+                           "BENCH_history.jsonl next to --output)")
+    perf.add_argument("--no-history", action="store_true",
+                      help="do not append this run to the history ledger")
+    perf.add_argument("--note", default="", metavar="TEXT",
+                      help="free-form note recorded in the history entry "
+                           "(e.g. the change being measured)")
+    perf.add_argument("--compare", nargs="?", const="", default=None,
+                      metavar="REF",
+                      help="report mode: compare the newest history entry "
+                           "against REF (an offset like '2' or a digest "
+                           "prefix; omitted: the previous entry) instead "
+                           "of running benchmarks; exits 1 on regressions "
+                           "beyond --threshold")
+    perf.add_argument("--threshold", type=float, default=None,
+                      metavar="FRACTION",
+                      help="relative throughput drop that counts as a "
+                           "regression for --compare (default: 0.25)")
     perf.add_argument("--json", action="store_true",
                       help="print the payload as JSON instead of a table")
 
@@ -275,9 +314,27 @@ def build_parser() -> argparse.ArgumentParser:
     tournament.add_argument("--output", default="BENCH_policies.json",
                             metavar="PATH",
                             help="result file (default: BENCH_policies.json)")
+    _add_telemetry_options(tournament)
     tournament.add_argument("--json", action="store_true",
                             help="print the payload as JSON instead of a "
                                  "table")
+
+    top = sub.add_parser(
+        "top",
+        help="show the live state of a run started with --serve-metrics",
+    )
+    top.add_argument("--port", type=int, default=None, metavar="PORT",
+                     help="port of the live endpoint on 127.0.0.1")
+    top.add_argument("--url", default=None, metavar="URL",
+                     help="full endpoint URL (overrides --port)")
+    top.add_argument("--watch", nargs="?", const=2.0,
+                     type=_positive_duration, default=None,
+                     metavar="SECONDS",
+                     help="refresh every SECONDS (default 2) until "
+                          "interrupted, instead of printing once")
+    top.add_argument("--json", action="store_true",
+                     help="print the raw /snapshot JSON instead of the "
+                          "terminal view")
 
     validate = sub.add_parser(
         "validate",
@@ -424,6 +481,42 @@ def _resume_specs(parser, args, command: str):
     return specs, meta.get("args") or {}
 
 
+def _make_bus(args):
+    """Build the run event bus requested by the telemetry options.
+
+    Returns ``(bus, server, sink)`` — all ``None`` when neither
+    ``--serve-metrics`` nor ``--events`` was given, so the hot paths
+    never see a bus (and never import the live module) by default.
+    """
+    serve_port = getattr(args, "serve_metrics", None)
+    events_path = getattr(args, "events", None)
+    if serve_port is None and events_path is None:
+        return None, None, None
+    from repro.obs import EventBus, JsonlSink
+
+    bus = EventBus()
+    sink = None
+    if events_path is not None:
+        sink = JsonlSink(events_path)
+        bus.subscribe(sink)
+    server = None
+    if serve_port is not None:
+        from repro.obs.live import serve_bus
+
+        server = serve_bus(bus, port=serve_port)
+        print(f"live telemetry: {server.url}/metrics "
+              f"(watch with: python -m repro top --port {server.port})",
+              file=sys.stderr)
+    return bus, server, sink
+
+
+def _close_bus(server, sink) -> None:
+    if server is not None:
+        server.close()
+    if sink is not None:
+        sink.close()
+
+
 def _run_jobs(parser, args, specs, command="sweep", command_args=None):
     """Shared sweep/batch execution; prints progress+cache info to stderr.
 
@@ -485,17 +578,20 @@ def _run_jobs(parser, args, specs, command="sweep", command_args=None):
         pass
     runner = (run_grid_fleet
               if getattr(args, "engine", "pool") == "fleet" else run_grid)
+    bus, server, sink = _make_bus(args)
     try:
         report = runner(
             specs, workers=args.workers, cache=cache,
             timeout_s=args.timeout, retries=args.retries,
             progress=progress, journal=journal, stop_event=stop_event,
+            bus=bus,
         )
     finally:
         for sig, handler in previous_handlers.items():
             signal.signal(sig, handler)
         if journal is not None:
             journal.close()
+        _close_bus(server, sink)
     if report.cache_stats is not None:
         print(f"cache: {report.cache_stats.describe()} "
               f"(dir: {cache.root})", file=sys.stderr)
@@ -705,14 +801,65 @@ def _cmd_batch(parser, args) -> int:
     return 1 if report.failures else 0
 
 
+def _default_history_path(args) -> str:
+    """The ledger next to ``--output`` (repo root by default)."""
+    import pathlib
+
+    from repro.perf import HISTORY_PATH
+
+    if args.history is not None:
+        return args.history
+    return str(pathlib.Path(args.output).parent / HISTORY_PATH)
+
+
+def _cmd_perf_compare(parser, args) -> int:
+    """``perf --compare``: report mode over the history ledger."""
+    from repro.perf import (
+        DEFAULT_THRESHOLD,
+        compare_entries,
+        format_compare,
+        load_history,
+        resolve_reference,
+    )
+
+    history_path = _default_history_path(args)
+    entries = load_history(history_path)
+    if not entries:
+        print(f"error: no history at {history_path}; run 'repro perf' "
+              f"first to record an entry", file=sys.stderr)
+        return 1
+    try:
+        current, reference = resolve_reference(
+            entries, args.compare or None
+        )
+        report = compare_entries(
+            current, reference,
+            threshold=(args.threshold if args.threshold is not None
+                       else DEFAULT_THRESHOLD),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        _print_json_report(report)
+    else:
+        print(format_compare(report))
+    return 1 if report["regressions"] else 0
+
+
 def _cmd_perf(parser, args) -> int:
     from repro.perf import (
+        append_history,
         format_bench_report,
         run_benchmarks,
         scenario_by_name,
         write_bench_json,
     )
 
+    if args.threshold is not None and args.threshold < 0:
+        parser.error(f"--threshold must be >= 0, got {args.threshold}")
+    if args.compare is not None:
+        return _cmd_perf_compare(parser, args)
     scenarios = None
     if args.scenarios:
         try:
@@ -729,6 +876,12 @@ def _cmd_perf(parser, args) -> int:
     else:
         print(format_bench_report(payload))
     print(f"wrote {path}", file=sys.stderr)
+    if not args.no_history:
+        history_path = _default_history_path(args)
+        append_history(payload, history_path, note=args.note)
+        print(f"appended history entry to {history_path} "
+              f"(diff runs with: python -m repro perf --compare)",
+              file=sys.stderr)
     if not payload["all_summaries_identical"]:
         print("error: fast path diverged from the scalar reference",
               file=sys.stderr)
@@ -776,6 +929,7 @@ def _cmd_tournament(parser, args) -> int:
         print(f"  [{i + 1}/{total}] {outcome.spec.label:<40} {status}",
               file=sys.stderr)
 
+    bus, server, sink = _make_bus(args)
     try:
         payload = run_tournament(
             duration_s=args.duration or DEFAULT_DURATION_S,
@@ -785,10 +939,13 @@ def _cmd_tournament(parser, args) -> int:
             cache=cache,
             check_oracle=not args.skip_oracle,
             progress=progress,
+            bus=bus,
         )
     except RuntimeError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        _close_bus(server, sink)
     path = write_policies_json(payload, args.output)
     if args.json:
         _print_json_report(payload)
@@ -882,21 +1039,34 @@ def _cmd_trace(parser, args) -> int:
     from repro.obs import PROMETHEUS_CONTENT_TYPE
 
     result, name = _run_observed(parser, args)
-    if args.format == "chrome":
-        export = result.chrome_trace(scenario=name)
-        text = json.dumps(export, indent=2, sort_keys=True)
-    elif args.format == "metrics":
-        export = result.metrics_snapshot()
-        text = json.dumps(export, indent=2, sort_keys=True)
-    elif args.format == "prometheus":
-        text = result.observer.prometheus().rstrip("\n")
-        export = {"content_type": PROMETHEUS_CONTENT_TYPE, "text": text + "\n"}
-    else:  # events
-        export = {
-            "scenario": name,
-            "events": [e.to_dict() for e in result.tracer.events],
-        }
-        text = json.dumps(export, indent=2, sort_keys=True)
+    try:
+        if args.format == "chrome":
+            export = result.chrome_trace(scenario=name)
+            text = json.dumps(export, indent=2, sort_keys=True)
+        elif args.format == "metrics":
+            export = result.metrics_snapshot()
+            text = json.dumps(export, indent=2, sort_keys=True)
+        elif args.format == "prometheus":
+            text = result.observer.prometheus().rstrip("\n")
+            export = {"content_type": PROMETHEUS_CONTENT_TYPE,
+                      "text": text + "\n"}
+        else:  # events
+            events = list(result.tracer.events)
+            if not events:
+                print(f"note: {name} recorded no trace events over this "
+                      f"duration; the export is an empty event list",
+                      file=sys.stderr)
+            export = {
+                "scenario": name,
+                "events": [e.to_dict() for e in events],
+            }
+            text = json.dumps(export, indent=2, sort_keys=True)
+    except (AttributeError, ValueError) as exc:
+        # e.g. metrics disabled in the observability config: report why
+        # the export is unavailable instead of dumping a traceback.
+        print(f"error: cannot export {args.format} telemetry for {name}: "
+              f"{exc}", file=sys.stderr)
+        return 1
     if args.output is not None:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(text)
@@ -936,6 +1106,12 @@ def _cmd_explain(parser, args) -> int:
         )
     result, name = _run_observed(parser, args)
     audit = result.audit
+    if audit is None:
+        # Unreachable through this command (it always runs with obs on),
+        # but keep the exit clean if a future path hands us a bare run.
+        print(f"error: {name} ran without the decision audit log; re-run "
+              f"with observability enabled", file=sys.stderr)
+        return 1
     if args.pid is None and args.site is None and not args.accepted_only:
         # Summary mode: what did the audit log capture?
         payload = {
@@ -949,6 +1125,12 @@ def _cmd_explain(parser, args) -> int:
         else:
             print(f"{name}: {len(audit)} audit records "
                   f"({audit.dropped} dropped)")
+            if not len(audit):
+                print("no scheduler decisions fired — the policy has no "
+                      "audited decision sites (e.g. baseline) or the "
+                      "duration was too short; try --duration 300 or an "
+                      "energy-aware scenario")
+                return 0
             for site, count in audit.sites_seen().items():
                 print(f"  {site:<16} {count}")
             print("use --pid / --site to select records")
@@ -970,7 +1152,53 @@ def _cmd_explain(parser, args) -> int:
         for record in records:
             print(_format_audit_record(record))
         print(f"{len(records)} record(s) matched", file=sys.stderr)
+        if not records and len(audit):
+            print(f"hint: {len(audit)} records exist; 'repro explain "
+                  f"--scenario {args.scenario}' summarizes the sites and "
+                  f"pids seen", file=sys.stderr)
     return 0
+
+
+def _cmd_top(parser, args) -> int:
+    import urllib.error
+    import urllib.request
+
+    if args.url is not None:
+        base = args.url.rstrip("/")
+    elif args.port is not None:
+        base = f"http://127.0.0.1:{args.port}"
+    else:
+        parser.error("give --port PORT or --url URL (printed to stderr by "
+                     "the run started with --serve-metrics)")
+
+    def fetch() -> dict:
+        with urllib.request.urlopen(f"{base}/snapshot", timeout=5) as resp:
+            return json.loads(resp.read())
+
+    from repro.obs.live import render_top
+
+    try:
+        while True:
+            try:
+                payload = fetch()
+            except (OSError, urllib.error.URLError, ValueError) as exc:
+                print(f"error: cannot read {base}/snapshot: {exc}\n"
+                      f"is the run still up, and was it started with "
+                      f"--serve-metrics?", file=sys.stderr)
+                return 1
+            if args.json:
+                print(json.dumps(payload, indent=2, sort_keys=True))
+            else:
+                print(render_top(payload.get("live", {})))
+            if args.watch is None:
+                return 0
+            import time as _time
+
+            _time.sleep(args.watch)
+            if not args.json:
+                print("", file=sys.stderr)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_scenarios(parser, args) -> int:
@@ -1084,6 +1312,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(parser, args)
     if args.command == "explain":
         return _cmd_explain(parser, args)
+    if args.command == "top":
+        return _cmd_top(parser, args)
     experiment = _resolve_experiment(parser, args.experiment)
     report = run_experiment(experiment, duration_s=args.duration,
                             seed=args.seed)

@@ -8,6 +8,7 @@ user-facing guide.
 from repro.fleet.engine import (
     FLEET_CHECKPOINT_SCHEMA,
     FleetEngine,
+    FleetStats,
     FleetUnsupported,
     check_fleet_supported,
 )
@@ -15,6 +16,7 @@ from repro.fleet.engine import (
 __all__ = [
     "FLEET_CHECKPOINT_SCHEMA",
     "FleetEngine",
+    "FleetStats",
     "FleetUnsupported",
     "check_fleet_supported",
 ]

@@ -54,6 +54,7 @@ and tick length must match across the fleet.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -71,6 +72,45 @@ _INF = float("inf")
 
 class FleetUnsupported(ValueError):
     """A System cannot be advanced by the fleet engine as configured."""
+
+
+@dataclass
+class FleetStats:
+    """Aggregate bookkeeping counters of one or more fleet engines.
+
+    Per-member observers are fleet-ineligible, so these coarse counters
+    are what makes a fleet sweep *countable*: how many machine-ticks
+    were advanced, how often array state was written back into member
+    Systems (``flushes``), how often a slot's current task was reloaded
+    into the arrays (``resyncs``), and how many housekeeping cadences
+    actually fired a member call.  Pure telemetry — nothing reads them
+    back into the simulation.
+    """
+
+    machine_ticks: int = 0
+    batches: int = 0
+    members: int = 0
+    flushes: int = 0
+    resyncs: int = 0
+    housekeeping_fires: int = 0
+
+    def merge(self, other: "FleetStats") -> None:
+        self.machine_ticks += other.machine_ticks
+        self.batches += other.batches
+        self.members += other.members
+        self.flushes += other.flushes
+        self.resyncs += other.resyncs
+        self.housekeeping_fires += other.housekeeping_fires
+
+    def as_dict(self) -> dict:
+        return {
+            "machine_ticks": self.machine_ticks,
+            "batches": self.batches,
+            "members": self.members,
+            "flushes": self.flushes,
+            "resyncs": self.resyncs,
+            "housekeeping_fires": self.housekeeping_fires,
+        }
 
 
 def check_fleet_supported(system: System) -> None:
@@ -148,7 +188,18 @@ class FleetEngine:
         self.systems = list(systems)
         self.tick_ms = first.config.tick_ms
         self.clock = Clock.at(self.tick_ms, ticks=first._now_ms // self.tick_ms)
+        #: Optional :class:`repro.obs.events.EventBus`; when set,
+        #: :meth:`run_ticks` emits ``fleet_tick_progress`` events every
+        #: :attr:`progress_every_ticks` ticks.  Telemetry only — the
+        #: tick sequence is identical with or without a bus (the run is
+        #: merely split into sub-chunks of the same consecutive ticks).
+        self.event_bus = None
+        self.stats = FleetStats(members=len(systems), batches=1)
         self._attach()
+
+    #: Tick interval between ``fleet_tick_progress`` emissions when an
+    #: event bus is attached.
+    progress_every_ticks = 1000
 
     # ------------------------------------------------------------------
     # Attach: allocate the SoA block and pull state out of the members
@@ -364,6 +415,7 @@ class FleetEngine:
     # ------------------------------------------------------------------
     def _resync_slot(self, m: int, c: int) -> None:
         """Load the current task of (machine, cpu) into the arrays."""
+        self.stats.resyncs += 1
         self._top_dirty = True
         sys_ = self.systems[m]
         task = self.rq_lists[m][c].current
@@ -472,6 +524,7 @@ class FleetEngine:
 
     def _flush_machine(self, m: int) -> None:
         """Full write-back: results, probes, checkpoints all read this."""
+        self.stats.flushes += 1
         sys_ = self.systems[m]
         sys_._now_ms = self.clock.now_ms
         self._flush_policy_view(m)
@@ -1009,6 +1062,7 @@ class FleetEngine:
         return need
 
     def _housekeep_machine(self, m, merged, balset, idleset, hotset, now_ms) -> None:
+        self.stats.housekeeping_fires += 1
         rqs = self.rq_lists[m]
         # flush only if some call will read the metrics board: a balance
         # fires, or a hot check passes its single-task pre-gate
@@ -1072,9 +1126,28 @@ class FleetEngine:
         if n_ticks < 0:
             raise ValueError(f"n_ticks must be non-negative, got {n_ticks}")
         clock = self.clock
-        for _ in range(n_ticks):
-            clock.advance()
-            self.tick(clock)
+        bus = self.event_bus
+        if bus is None:
+            for _ in range(n_ticks):
+                clock.advance()
+                self.tick(clock)
+        else:
+            # Same consecutive tick sequence, merely split into
+            # sub-chunks so progress events flow while the run is live.
+            done = 0
+            while done < n_ticks:
+                chunk = min(self.progress_every_ticks, n_ticks - done)
+                for _ in range(chunk):
+                    clock.advance()
+                    self.tick(clock)
+                done += chunk
+                bus.emit(
+                    "fleet_tick_progress",
+                    ticks=chunk,
+                    machines=self.n_machines,
+                    ticks_total=clock.ticks,
+                )
+        self.stats.machine_ticks += n_ticks * self.n_machines
 
     def run_until_tick(self, total_ticks: int) -> None:
         remaining = total_ticks - self.clock.ticks

@@ -4,6 +4,11 @@ Enable with ``run_simulation(..., obs=True)`` (or an
 :class:`ObservabilityConfig`); query via ``result.observer``.  The
 Chrome-trace exporter works on any result — it re-projects the event
 log the tracer always collects.
+
+Sweep-scale telemetry (the run event bus and its sinks) is exported
+here; the live HTTP endpoint lives in :mod:`repro.obs.live` and is
+imported lazily by the CLI so the hot paths never pay for
+``http.server``.
 """
 
 from repro.obs.audit import AUDIT_SCHEMA, AUDIT_SITES, AuditLog, AuditRecord
@@ -12,6 +17,17 @@ from repro.obs.chrome_trace import (
     chrome_trace,
     export_chrome_trace,
     migration_flow_events,
+)
+from repro.obs.events import (
+    EVENT_KINDS,
+    RUN_EVENT_SCHEMA,
+    CallbackSink,
+    EventBus,
+    JsonlSink,
+    RingBufferSink,
+    RunEvent,
+    count_by_kind,
+    read_events,
 )
 from repro.obs.exporters import (
     METRICS_SCHEMA,
@@ -38,6 +54,15 @@ __all__ = [
     "chrome_trace",
     "export_chrome_trace",
     "migration_flow_events",
+    "EVENT_KINDS",
+    "RUN_EVENT_SCHEMA",
+    "CallbackSink",
+    "EventBus",
+    "JsonlSink",
+    "RingBufferSink",
+    "RunEvent",
+    "count_by_kind",
+    "read_events",
     "METRICS_SCHEMA",
     "PROMETHEUS_CONTENT_TYPE",
     "json_snapshot",

@@ -83,7 +83,8 @@ def prometheus_text(registry: MetricsRegistry) -> str:
 
 
 def runner_metrics_registry(
-    exec_stats, cache_stats=None, checkpoints: int | None = None
+    exec_stats, cache_stats=None, checkpoints: int | None = None,
+    fleet_stats=None,
 ) -> MetricsRegistry:
     """Mirror one sweep's resilience accounting into a registry.
 
@@ -91,7 +92,10 @@ def runner_metrics_registry(
     and ``cache_stats`` a :class:`repro.runner.cache.CacheStats`; both are
     duck-typed (attribute reads only) so the obs layer keeps no runner
     import.  ``checkpoints`` counts checkpoint files written, for
-    checkpointed runs.  The result renders through
+    checkpointed runs.  ``fleet_stats`` is a
+    :class:`repro.fleet.engine.FleetStats` (also duck-typed) — the
+    aggregate counters of a fleet-engine sweep, whose members cannot
+    carry per-run observers.  The result renders through
     :func:`prometheus_text` / :func:`json_snapshot` like any other
     registry, e.g. for a CI artifact or a node-exporter textfile.
     """
@@ -136,6 +140,25 @@ def runner_metrics_registry(
             "repro_checkpoints_written_total",
             "Simulation checkpoint files written.",
         ).set_sample(float(checkpoints))
+    if fleet_stats is not None:
+        fleet_counters = (
+            ("machine_ticks", "repro_fleet_machine_ticks_total",
+             "Aggregate machine-ticks advanced by fleet engines."),
+            ("batches", "repro_fleet_batches_total",
+             "Fleet engine batches executed."),
+            ("members", "repro_fleet_members_total",
+             "Member systems advanced inside fleet batches."),
+            ("flushes", "repro_fleet_flushes_total",
+             "Full array-to-member state write-backs."),
+            ("resyncs", "repro_fleet_resyncs_total",
+             "Slot reloads of member task state into the arrays."),
+            ("housekeeping_fires", "repro_fleet_housekeeping_fires_total",
+             "Housekeeping cadences that fired a member call."),
+        )
+        for attr, name, help_text in fleet_counters:
+            registry.counter(name, help_text).set_sample(
+                float(getattr(fleet_stats, attr, 0))
+            )
     return registry
 
 

@@ -28,6 +28,19 @@ from repro.perf.harness import (
     strip_timings,
     write_bench_json,
 )
+from repro.perf.history import (
+    DEFAULT_THRESHOLD,
+    HISTORY_PATH,
+    HISTORY_SCHEMA,
+    append_history,
+    compare_entries,
+    format_compare,
+    history_entry,
+    load_history,
+    payload_digest,
+    profile_diff,
+    resolve_reference,
+)
 from repro.perf.scenarios import (
     FLEET_SCENARIO,
     HEADLINE_SCENARIO,
@@ -39,12 +52,22 @@ from repro.perf.scenarios import (
 
 __all__ = [
     "BenchScenarioResult",
+    "DEFAULT_THRESHOLD",
     "FLEET_SCENARIO",
     "FleetPerfScenario",
     "HEADLINE_SCENARIO",
+    "HISTORY_PATH",
+    "HISTORY_SCHEMA",
     "PerfScenario",
     "REFERENCE_SCENARIOS",
+    "append_history",
+    "compare_entries",
     "format_bench_report",
+    "format_compare",
+    "history_entry",
+    "load_history",
+    "payload_digest",
+    "profile_diff",
     "profile_scenario",
     "run_benchmarks",
     "run_fleet_benchmark",

@@ -1,0 +1,318 @@
+"""Perf-regression ledger: an append-only history of harness runs.
+
+``BENCH_perf.json`` is a single snapshot — useful for the docs, useless
+for answering "when did the fast path get slower?".  This module keeps
+the history: every harness run appends one JSON line to
+``BENCH_history.jsonl`` carrying the payload's deterministic digest,
+the headline and per-scenario throughput numbers, the fleet aggregate
+rate, and the self-profile phase breakdown.  ``repro perf --compare``
+then diffs the newest entry against any reference entry with a
+noise-aware threshold, and the profile diff attributes a regression to
+the tick phases that actually slowed down.
+
+Two entries are comparable only when their payload digests match — the
+digest hashes :func:`repro.perf.strip_timings`, so it pins the scenario
+set, durations, and summaries.  Same digest + slower ticks/s = a true
+performance change (or machine noise, which the threshold absorbs);
+different digests mean the workload changed and a delta would be
+meaningless.
+
+The ledger reuses the sweep journal's durability discipline: one
+``json.dumps`` line per entry, flushed and fsynced, torn final lines
+skipped on read.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import time
+
+#: Ledger entry identity; bump on incompatible layout changes.
+HISTORY_SCHEMA = "repro-history/1"
+
+#: Default ledger path (repo root, next to BENCH_perf.json).
+HISTORY_PATH = "BENCH_history.jsonl"
+
+#: Default regression threshold: relative throughput drop beyond which
+#: a scenario is flagged.  Wall-clock wobbles ±10-20 % run to run even
+#: on one box (docs/performance.md), so the default stays above that.
+DEFAULT_THRESHOLD = 0.25
+
+
+def payload_digest(payload: dict) -> str:
+    """SHA-256 over the canonical deterministic subset of a payload."""
+    from repro.perf.harness import strip_timings
+
+    canonical = json.dumps(
+        strip_timings(payload), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def history_entry(payload: dict, note: str = "") -> dict:
+    """One ledger line for a ``run_benchmarks`` payload."""
+    scenarios = {
+        s["name"]: {
+            "fast_ticks_per_s": s["timing"]["fast_ticks_per_s"],
+            "scalar_ticks_per_s": s["timing"]["scalar_ticks_per_s"],
+            "speedup_vs_scalar": s["timing"]["speedup_vs_scalar"],
+        }
+        for s in payload.get("scenarios", [])
+    }
+    entry = {
+        "schema": HISTORY_SCHEMA,
+        "t": time.time(),
+        "digest": payload_digest(payload),
+        "headline": {
+            "name": payload["headline"]["name"],
+            **payload["headline"]["timing"],
+        },
+        "scenarios": scenarios,
+    }
+    fleet = payload.get("fleet")
+    if fleet:
+        entry["fleet"] = {
+            "name": fleet["name"],
+            "n_machines": fleet["n_machines"],
+            "fleet_machine_ticks_per_s":
+                fleet["timing"]["fleet_machine_ticks_per_s"],
+            "speedup_vs_per_job": fleet["timing"]["speedup_vs_per_job"],
+        }
+    profile = payload.get("self_profile")
+    if profile:
+        entry["self_profile"] = {
+            "name": profile["name"],
+            "duration_s": profile["duration_s"],
+            "fast_phases": {
+                name: {"total_s": p["total_s"], "fraction": p["fraction"],
+                       "mean_us": p["mean_us"]}
+                for name, p in profile["fast"]["phases"].items()
+            },
+        }
+    if note:
+        entry["note"] = note
+    return entry
+
+
+def append_history(
+    payload: dict, path: str | os.PathLike = HISTORY_PATH, note: str = ""
+) -> dict:
+    """Append one entry for ``payload``; returns the entry written.
+
+    Same durability rules as the sweep journal: single-write line,
+    flush + fsync before returning.
+    """
+    entry = history_entry(payload, note=note)
+    file_path = pathlib.Path(path)
+    if file_path.parent != pathlib.Path("."):
+        file_path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n"
+    with open(file_path, "ab") as fh:
+        fh.write(line.encode())
+        fh.flush()
+        os.fsync(fh.fileno())
+    return entry
+
+
+def load_history(path: str | os.PathLike = HISTORY_PATH) -> list[dict]:
+    """All readable ledger entries, oldest first; torn lines skipped."""
+    entries: list[dict] = []
+    try:
+        raw = pathlib.Path(path).read_bytes()
+    except OSError:
+        return entries
+    for line in raw.split(b"\n"):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            continue  # torn tail
+        if isinstance(entry, dict) and entry.get("schema") == HISTORY_SCHEMA:
+            entries.append(entry)
+    return entries
+
+
+def resolve_reference(
+    entries: list[dict], ref: str | None = None
+) -> tuple[dict, dict]:
+    """Pick (current, reference) entries from a ledger.
+
+    ``current`` is always the newest entry.  ``ref`` selects the
+    reference: ``None`` → the previous entry; a small integer string
+    (``"2"``) → that many entries back from the newest; anything else →
+    the newest earlier entry whose digest starts with ``ref``.
+    """
+    if len(entries) < 2:
+        raise ValueError(
+            "need at least two history entries to compare "
+            f"(found {len(entries)}); run 'repro perf' again first"
+        )
+    current = entries[-1]
+    if ref is None:
+        return current, entries[-2]
+    if ref.isdigit():
+        back = int(ref)
+        if not 1 <= back <= len(entries) - 1:
+            raise ValueError(
+                f"reference offset {back} out of range; the ledger holds "
+                f"{len(entries)} entries"
+            )
+        return current, entries[-1 - back]
+    for entry in reversed(entries[:-1]):
+        if entry.get("digest", "").startswith(ref):
+            return current, entry
+    raise ValueError(
+        f"no earlier history entry with digest prefix {ref!r}"
+    )
+
+
+def _relative_delta(current: float, reference: float) -> float:
+    """Relative throughput change (< 0 = slower than the reference)."""
+    if reference <= 0:
+        return 0.0
+    return (current - reference) / reference
+
+
+def compare_entries(
+    current: dict,
+    reference: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> dict:
+    """Per-scenario throughput deltas between two ledger entries.
+
+    A scenario regresses when its fast-path throughput drops by more
+    than ``threshold`` relative to the reference.  Entries with
+    different digests are compared anyway but flagged ``comparable:
+    false`` — their workloads differ, so treat deltas as informational.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    rows = []
+    cur_scen = current.get("scenarios", {})
+    ref_scen = reference.get("scenarios", {})
+    for name in sorted(set(cur_scen) & set(ref_scen)):
+        cur_rate = float(cur_scen[name]["fast_ticks_per_s"])
+        ref_rate = float(ref_scen[name]["fast_ticks_per_s"])
+        delta = _relative_delta(cur_rate, ref_rate)
+        rows.append({
+            "scenario": name,
+            "current_ticks_per_s": cur_rate,
+            "reference_ticks_per_s": ref_rate,
+            "delta": delta,
+            "regressed": delta < -threshold,
+        })
+    fleet_row = None
+    if "fleet" in current and "fleet" in reference:
+        cur_rate = float(current["fleet"]["fleet_machine_ticks_per_s"])
+        ref_rate = float(reference["fleet"]["fleet_machine_ticks_per_s"])
+        delta = _relative_delta(cur_rate, ref_rate)
+        fleet_row = {
+            "scenario": current["fleet"]["name"],
+            "current_ticks_per_s": cur_rate,
+            "reference_ticks_per_s": ref_rate,
+            "delta": delta,
+            "regressed": delta < -threshold,
+        }
+    return {
+        "schema": "repro-perf-compare/1",
+        "comparable": current.get("digest") == reference.get("digest"),
+        "threshold": threshold,
+        "current_digest": current.get("digest", ""),
+        "reference_digest": reference.get("digest", ""),
+        "scenarios": rows,
+        "fleet": fleet_row,
+        "profile_diff": profile_diff(current, reference),
+        "regressions": [r["scenario"] for r in rows if r["regressed"]]
+        + ([fleet_row["scenario"]] if fleet_row and fleet_row["regressed"]
+           else []),
+    }
+
+
+def profile_diff(current: dict, reference: dict) -> list[dict]:
+    """Attribute a headline delta to tick phases.
+
+    Diffs the fast-path self-profile phase breakdowns of two entries:
+    per phase, the absolute wall-time change and each phase's share of
+    the total change — "the regression is 80 % housekeeping" — sorted
+    by largest slowdown first.  Empty when either entry lacks a
+    profile or they profiled different scenarios.
+    """
+    cur_prof = current.get("self_profile")
+    ref_prof = reference.get("self_profile")
+    if not cur_prof or not ref_prof:
+        return []
+    if cur_prof.get("name") != ref_prof.get("name"):
+        return []
+    cur_phases = cur_prof.get("fast_phases", {})
+    ref_phases = ref_prof.get("fast_phases", {})
+    names = sorted(set(cur_phases) | set(ref_phases))
+    deltas = {
+        name: (cur_phases.get(name, {}).get("total_s", 0.0)
+               - ref_phases.get(name, {}).get("total_s", 0.0))
+        for name in names
+    }
+    total_delta = sum(deltas.values())
+    rows = [
+        {
+            "phase": name,
+            "current_s": cur_phases.get(name, {}).get("total_s", 0.0),
+            "reference_s": ref_phases.get(name, {}).get("total_s", 0.0),
+            "delta_s": deltas[name],
+            "share_of_change": (
+                deltas[name] / total_delta if total_delta != 0 else 0.0
+            ),
+        }
+        for name in names
+    ]
+    rows.sort(key=lambda r: r["delta_s"], reverse=True)
+    return rows
+
+
+def format_compare(report: dict) -> str:
+    """Human-readable rendering of a :func:`compare_entries` report."""
+    lines = []
+    if not report["comparable"]:
+        lines.append(
+            "note: payload digests differ "
+            f"({report['reference_digest'][:12]} -> "
+            f"{report['current_digest'][:12]}); the deterministic workload "
+            "changed, deltas are informational only"
+        )
+    lines.append(
+        f"{'scenario':<24} {'reference t/s':>14} {'current t/s':>12} "
+        f"{'delta':>8}  verdict"
+    )
+    rows = list(report["scenarios"])
+    if report.get("fleet"):
+        rows.append(report["fleet"])
+    for row in rows:
+        verdict = "REGRESSED" if row["regressed"] else "ok"
+        lines.append(
+            f"{row['scenario']:<24} {row['reference_ticks_per_s']:>14,.0f} "
+            f"{row['current_ticks_per_s']:>12,.0f} "
+            f"{row['delta']:>+7.1%}  {verdict}"
+        )
+    diff = report.get("profile_diff") or []
+    slower = [r for r in diff if r["delta_s"] > 0]
+    if slower:
+        lines.append("phase attribution (headline fast path, slower first):")
+        for row in slower[:5]:
+            lines.append(
+                f"  {row['phase']:<14} {row['reference_s']:.3f}s -> "
+                f"{row['current_s']:.3f}s  ({row['delta_s']:+.3f}s, "
+                f"{row['share_of_change']:.0%} of the change)"
+            )
+    if report["regressions"]:
+        lines.append(
+            f"{len(report['regressions'])} regression(s) beyond "
+            f"{report['threshold']:.0%}: {', '.join(report['regressions'])}"
+        )
+    else:
+        lines.append(
+            f"no regressions beyond {report['threshold']:.0%}"
+        )
+    return "\n".join(lines)

@@ -184,15 +184,17 @@ def run_simulation_checkpointed(
     validate=False,
     obs=False,
     on_checkpoint: Callable[[pathlib.Path, int], None] | None = None,
+    bus=None,
 ) -> SimulationResult:
     """:func:`repro.api.run_simulation` with periodic checkpoints.
 
     Every ``checkpoint_every_s`` of *simulated* time the current state
     overwrites ``checkpoint_path`` (atomically — a crash leaves the
     previous complete snapshot).  ``on_checkpoint(path, ticks)`` is
-    called after each write, e.g. to count checkpoints for metrics.
-    Checkpointing only reads state, so the result is bit-identical to
-    an unchecked run.
+    called after each write, e.g. to count checkpoints for metrics;
+    ``bus`` (an optional :class:`repro.obs.events.EventBus`) receives a
+    ``checkpoint_written`` event per write.  Checkpointing only reads
+    state, so the result is bit-identical to an unchecked run.
     """
     if checkpoint_every_s <= 0:
         raise ValueError(
@@ -215,6 +217,9 @@ def run_simulation_checkpointed(
     while clock.ticks < total_ticks:
         engine.run_ticks(min(every_ticks, total_ticks - clock.ticks))
         save_checkpoint(checkpoint_path, system, duration_s=duration_s)
+        if bus is not None:
+            bus.emit("checkpoint_written", path=str(checkpoint_path),
+                     ticks=clock.ticks)
         if on_checkpoint is not None:
             on_checkpoint(pathlib.Path(checkpoint_path), clock.ticks)
     return SimulationResult(system=system, duration_s=duration_s)

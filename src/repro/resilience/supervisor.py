@@ -174,6 +174,7 @@ class SupervisedPool:
         record: RecordFn,
         on_start: Callable[[int], None] | None = None,
         stop_event=None,
+        bus=None,
     ) -> None:
         self.specs = specs
         self.config = config
@@ -182,6 +183,7 @@ class SupervisedPool:
         self.record = record
         self.on_start = on_start
         self.stop_event = stop_event
+        self.bus = bus
         self._max_workers = max(1, min(workers, len(indices)))
         self.pending: deque[int] = deque(indices)
         self.solo: deque[int] = deque()
@@ -253,6 +255,8 @@ class SupervisedPool:
 
         if count:
             self.stats.pool_rebuilds += 1
+            if self.bus is not None:
+                self.bus.emit("pool_rebuild", workers=self._max_workers)
         try:
             self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
         except (OSError, ValueError):
@@ -301,6 +305,8 @@ class SupervisedPool:
             # (environment trouble, not a poison job) — give up on the
             # pool and let the caller fall back to serial.
             self.stats.worker_crashes += 1
+            if self.bus is not None:
+                self.bus.emit("worker_death", where="submit", index=i)
             self._submit_failures += 1
             if self._submit_failures > 3:
                 if self._pool is not None:
@@ -343,12 +349,16 @@ class SupervisedPool:
         procs = getattr(self._pool, "_processes", None)
         if procs and any(p.exitcode is not None for p in list(procs.values())):
             self.stats.worker_crashes += 1
+            if self.bus is not None:
+                self.bus.emit("worker_death", where="idle")
             self._rebuild_pool()
 
     def _on_pool_break(self, primary: int, primary_start: float, now: float) -> None:
         from concurrent.futures.process import BrokenProcessPool
 
         self.stats.worker_crashes += 1
+        if self.bus is not None:
+            self.bus.emit("worker_death", where="run", index=primary)
         suspects = [(primary, primary_start)]
         for future, (i, start) in list(self.running.items()):
             if future.done() and not future.cancelled():
@@ -432,6 +442,11 @@ class SupervisedPool:
                 self.config.backoff_base_s,
                 self.config.backoff_cap_s,
             )
+            if self.bus is not None:
+                self.bus.emit(
+                    "worker_backoff", index=i, attempt=self.failures[i],
+                    delay_s=delay, error=_describe(exc),
+                )
             self.delayed.append((time.monotonic() + delay, i))
         else:
             self._record_failure(i, _describe(exc), elapsed)

@@ -139,12 +139,18 @@ class JobOutcome:
 
 @dataclass
 class GridReport:
-    """Ordered outcomes of one :func:`run_grid` call."""
+    """Ordered outcomes of one :func:`run_grid` call.
+
+    ``fleet_stats`` is filled only by :func:`repro.runner.fleet_grid.
+    run_grid_fleet` — aggregate :class:`repro.fleet.engine.FleetStats`
+    across every fleet batch the sweep ran.
+    """
 
     outcomes: list[JobOutcome]
     cache_stats: CacheStats | None
     wall_s: float
     exec_stats: ExecutorStats | None = None
+    fleet_stats: object | None = None
 
     @property
     def failures(self) -> list[JobOutcome]:
@@ -184,6 +190,7 @@ def run_grid(
     backoff_base_s: float = 0.05,
     backoff_cap_s: float = 2.0,
     quarantine_dir: str | pathlib.Path | None = None,
+    bus=None,
 ) -> GridReport:
     """Execute every spec, consulting ``cache`` and ``journal`` if given.
 
@@ -193,7 +200,10 @@ def run_grid(
     ``stop_event`` (a ``threading.Event``) requests a graceful drain.
     ``quarantine_dir`` overrides where poison-job specs are serialized
     (default: ``<cache root>/quarantine`` when a cache is given,
-    nowhere otherwise).
+    nowhere otherwise).  ``bus`` is an optional
+    :class:`repro.obs.events.EventBus`; when given, job lifecycle and
+    worker incidents are emitted as run events (telemetry only — it
+    never alters execution or results).
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -201,6 +211,8 @@ def run_grid(
         raise ValueError(f"retries must be >= 0, got {retries}")
     started = time.monotonic()
     specs = list(specs)
+    if bus is not None:
+        bus.emit("grid_started", total=len(specs), workers=workers)
     stats = ExecutorStats()
     outcomes: dict[int, JobOutcome] = {}
     to_run: list[int] = []
@@ -211,6 +223,8 @@ def run_grid(
                 outcomes[i] = JobOutcome(
                     spec=spec, result=prior, cached=True, resumed=True
                 )
+                if bus is not None:
+                    bus.emit("job_cache_hit", index=i, source="journal")
                 continue
             if journal.is_quarantined(spec):
                 outcomes[i] = JobOutcome(
@@ -221,10 +235,15 @@ def run_grid(
                     quarantined=True,
                     resumed=True,
                 )
+                if bus is not None:
+                    bus.emit("job_quarantined", index=i, resumed=True,
+                             error=outcomes[i].error or "")
                 continue
         hit = cache.get(spec) if cache is not None else None
         if hit is not None:
             outcomes[i] = JobOutcome(spec=spec, result=hit, cached=True)
+            if bus is not None:
+                bus.emit("job_cache_hit", index=i, source="cache")
             if journal is not None:
                 # Journal the cache hit too: resume must not depend on
                 # the cache still existing (or being enabled).
@@ -247,7 +266,7 @@ def run_grid(
         if workers == 1 or len(to_run) == 1:
             _run_serial(
                 specs, to_run, config, run_fn, outcomes, stats,
-                journal=journal, stop_event=stop_event,
+                journal=journal, stop_event=stop_event, bus=bus,
             )
         else:
             def record(i, result, error, attempts, elapsed_s, quarantined):
@@ -258,21 +277,25 @@ def run_grid(
                 )
                 if journal is not None:
                     journal.record_outcome(i, outcomes[i])
+                _emit_outcome(bus, i, outcomes[i])
 
             def on_start(i):
                 if journal is not None:
                     journal.record_start(i, specs[i])
+                if bus is not None:
+                    bus.emit("job_started", index=i)
 
             SupervisedPool(
                 specs, to_run, workers, run_fn, config, stats,
                 record=record, on_start=on_start, stop_event=stop_event,
+                bus=bus,
             ).run()
         leftover = [i for i in to_run if i not in outcomes]
         if leftover and not stats.interrupted and not _stopped(stop_event):
             # Pool unavailable (or it gave up): finish serially.
             _run_serial(
                 specs, leftover, config, run_fn, outcomes, stats,
-                journal=journal, stop_event=stop_event,
+                journal=journal, stop_event=stop_event, bus=bus,
             )
         if cache is not None:
             for i in to_run:
@@ -289,6 +312,14 @@ def run_grid(
             )
 
     ordered = [outcomes[i] for i in range(len(specs))]
+    if bus is not None:
+        bus.emit(
+            "grid_finished",
+            total=len(specs),
+            failed=sum(1 for o in ordered if not o.ok),
+            interrupted=stats.interrupted,
+            wall_s=time.monotonic() - started,
+        )
     if progress is not None:
         for i, outcome in enumerate(ordered):
             progress(outcome, i, len(specs))
@@ -304,6 +335,27 @@ def _stopped(stop_event) -> bool:
     return stop_event is not None and stop_event.is_set()
 
 
+def _emit_outcome(bus, index: int, outcome: JobOutcome) -> None:
+    """Mirror one terminal outcome onto the event bus (no-op without one)."""
+    if bus is None:
+        return
+    if outcome.ok:
+        if outcome.cached:
+            bus.emit("job_cache_hit", index=index, source="cache")
+        else:
+            bus.emit(
+                "job_finished", index=index, attempts=outcome.attempts,
+                elapsed_s=outcome.elapsed_s,
+            )
+    elif outcome.quarantined:
+        bus.emit("job_quarantined", index=index, error=outcome.error or "")
+    else:
+        bus.emit(
+            "job_failed", index=index, attempts=outcome.attempts,
+            error=outcome.error or "",
+        )
+
+
 def _describe(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {exc}"
 
@@ -317,6 +369,7 @@ def _run_serial(
     stats: ExecutorStats,
     journal=None,
     stop_event=None,
+    bus=None,
 ) -> None:
     """In-process execution (no timeout enforcement — nothing to kill)."""
     for i in indices:
@@ -329,17 +382,21 @@ def _run_serial(
             attempts += 1
             if journal is not None:
                 journal.record_start(i, specs[i])
+            if bus is not None:
+                bus.emit("job_started", index=i, attempt=attempts)
             try:
                 result = run_fn(specs[i])
             except Exception as exc:
                 if attempts <= config.retries:
                     stats.retries += 1
-                    time.sleep(
-                        backoff_delay_s(
-                            specs[i], attempts,
-                            config.backoff_base_s, config.backoff_cap_s,
-                        )
+                    delay = backoff_delay_s(
+                        specs[i], attempts,
+                        config.backoff_base_s, config.backoff_cap_s,
                     )
+                    if bus is not None:
+                        bus.emit("worker_backoff", index=i, attempt=attempts,
+                                 delay_s=delay, error=_describe(exc))
+                    time.sleep(delay)
                     continue
                 outcomes[i] = JobOutcome(
                     spec=specs[i], result=None, error=_describe(exc),
@@ -352,4 +409,5 @@ def _run_serial(
                 )
             if journal is not None:
                 journal.record_outcome(i, outcomes[i])
+            _emit_outcome(bus, i, outcomes[i])
             break

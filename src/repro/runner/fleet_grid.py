@@ -130,18 +130,24 @@ def run_grid_fleet(
     stop_event=None,
     fleet_size: int = DEFAULT_FLEET_SIZE,
     quarantine_dir: str | pathlib.Path | None = None,
+    bus=None,
 ) -> GridReport:
     """Execute every spec, vectorizing fleet-eligible scenario groups.
 
     Same contract as :func:`run_grid`: outcomes come back in input
     order, journal replays and cache hits are resolved first, and
     ``stop_event`` requests a graceful drain.  ``fleet_size`` caps the
-    members per :class:`FleetEngine` batch.
+    members per :class:`FleetEngine` batch.  ``bus`` (an optional
+    :class:`repro.obs.events.EventBus`) receives job lifecycle plus
+    ``fleet_chunk_*`` / ``fleet_tick_progress`` telemetry.
     """
     if fleet_size < 1:
         raise ValueError(f"fleet_size must be >= 1, got {fleet_size}")
     started = time.monotonic()
     specs = list(specs)
+    if bus is not None:
+        bus.emit("grid_started", total=len(specs), workers=workers,
+                 engine="fleet")
     outcomes: dict[int, JobOutcome] = {}
 
     # -- resolve journal replays and cache hits (same rules as run_grid) ----
@@ -153,6 +159,8 @@ def run_grid_fleet(
                 outcomes[i] = JobOutcome(
                     spec=spec, result=prior, cached=True, resumed=True
                 )
+                if bus is not None:
+                    bus.emit("job_cache_hit", index=i, source="journal")
                 continue
             if journal.is_quarantined(spec):
                 outcomes[i] = JobOutcome(
@@ -163,10 +171,15 @@ def run_grid_fleet(
                     quarantined=True,
                     resumed=True,
                 )
+                if bus is not None:
+                    bus.emit("job_quarantined", index=i, resumed=True,
+                             error=outcomes[i].error or "")
                 continue
         hit = cache.get(spec) if cache is not None else None
         if hit is not None:
             outcomes[i] = JobOutcome(spec=spec, result=hit, cached=True)
+            if bus is not None:
+                bus.emit("job_cache_hit", index=i, source="cache")
             if journal is not None:
                 journal.record_outcome(i, outcomes[i])
         else:
@@ -199,7 +212,8 @@ def run_grid_fleet(
 
     # -- run the fleet batches ----------------------------------------------
     interrupted = False
-    for chunk in batches:
+    fleet_stats = None
+    for batch_no, chunk in enumerate(batches):
         if stop_event is not None and stop_event.is_set():
             interrupted = True
             break
@@ -210,17 +224,32 @@ def run_grid_fleet(
         if journal is not None:
             for i in indices:
                 journal.record_start(i, specs[i])
+        if bus is not None:
+            bus.emit("fleet_chunk_started", chunk=batch_no,
+                     members=len(chunk))
+            for i in indices:
+                bus.emit("job_started", index=i, engine="fleet")
         try:
             engine = FleetEngine([system for _i, _sc, system in chunk])
+            engine.event_bus = bus
             duration_s = chunk[0][1].duration_s
             engine.run_for(duration_s)
             results = engine.results(duration_s)
-        except Exception:
+        except Exception as exc:
             # A batch failure says nothing about which member is at
             # fault; rerun them all through the pool's blame machinery.
+            if bus is not None:
+                bus.emit("fleet_chunk_finished", chunk=batch_no,
+                         members=len(chunk), ok=False,
+                         error=f"{type(exc).__name__}: {exc}")
             fallback.extend(indices)
             fallback.sort()
             continue
+        if fleet_stats is None:
+            from repro.fleet import FleetStats
+
+            fleet_stats = FleetStats()
+        fleet_stats.merge(engine.stats)
         elapsed = time.monotonic() - batch_start
         per_job = elapsed / len(chunk)
         for (i, scenario, _system), result in zip(chunk, results):
@@ -232,8 +261,14 @@ def run_grid_fleet(
             )
             if journal is not None:
                 journal.record_outcome(i, outcomes[i])
+            if bus is not None:
+                bus.emit("job_finished", index=i, attempts=1,
+                         elapsed_s=per_job, engine="fleet")
             if cache is not None:
                 cache.put(specs[i], outcomes[i].result)
+        if bus is not None:
+            bus.emit("fleet_chunk_finished", chunk=batch_no,
+                     members=len(chunk), ok=True, wall_s=elapsed)
 
     # -- pool fallback for everything else ----------------------------------
     stats = ExecutorStats()
@@ -248,6 +283,7 @@ def run_grid_fleet(
             journal=None,  # outer journal indices would collide; see below
             stop_event=stop_event,
             quarantine_dir=quarantine_dir,
+            bus=_InnerBus(bus, fallback) if bus is not None else None,
         )
         for i, outcome in zip(fallback, inner.outcomes):
             outcomes[i] = outcome
@@ -272,6 +308,15 @@ def run_grid_fleet(
                 error="interrupted before completion",
             )
     ordered = [outcomes[i] for i in range(len(specs))]
+    if bus is not None:
+        bus.emit(
+            "grid_finished",
+            total=len(specs),
+            failed=sum(1 for o in ordered if not o.ok),
+            interrupted=stats.interrupted,
+            wall_s=time.monotonic() - started,
+            engine="fleet",
+        )
     if progress is not None:
         for i, outcome in enumerate(ordered):
             progress(outcome, i, len(specs))
@@ -280,4 +325,28 @@ def run_grid_fleet(
         cache_stats=cache.stats if cache is not None else None,
         wall_s=time.monotonic() - started,
         exec_stats=stats,
+        fleet_stats=fleet_stats,
     )
+
+
+class _InnerBus:
+    """Bus proxy for the inner pool-fallback ``run_grid`` call.
+
+    Drops the inner grid's ``grid_started``/``grid_finished`` (the
+    outer fleet grid already emitted the authoritative pair for the
+    full spec list) and rewrites job indices from fallback-sublist
+    positions back to outer grid positions, so every job event the
+    consumer sees indexes one consistent grid.
+    """
+
+    def __init__(self, bus, index_map: list[int]) -> None:
+        self._bus = bus
+        self._map = index_map
+
+    def emit(self, kind: str, **data):
+        if kind in ("grid_started", "grid_finished"):
+            return None
+        index = data.get("index")
+        if isinstance(index, int) and 0 <= index < len(self._map):
+            data["index"] = self._map[index]
+        return self._bus.emit(kind, **data)

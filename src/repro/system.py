@@ -93,6 +93,8 @@ _DERIVED_ATTRS = (
     "_exec_memo",      # per-CPU (mix, cycles, entry) memo over _tick_cache
     "_jit_scratch",    # per-tick counter-credit scratch row
     "_pkg_pairs",      # two-CPU package index pairs (from _pkg_cpus)
+    "_obs_audit",      # alias of observer.audit (None when obs is off)
+    "_obs_balance_hist",  # alias of observer.balance_hist (ditto)
 )
 
 #: Housekeeping fire tables repeat with period lcm(balance, idle, hot)
@@ -382,12 +384,19 @@ class System:
         # asked for it, one attribute test per hook site when disabled,
         # lazy import to keep repro.obs off the hot import path.
         self.observer = None
+        # Pre-bound hook-site aliases: the tick-rate paths read one
+        # attribute (almost always None) instead of chasing
+        # observer -> audit / balance_hist and branching every tick.
+        self._obs_audit = None
+        self._obs_balance_hist = None
         if obs:
             from repro.obs.observer import ObservabilityConfig, Observer
 
             oconfig = ObservabilityConfig.coerce(obs)
             if oconfig is not None:
                 self.observer = Observer(self, oconfig)
+                self._obs_audit = self.observer.audit
+                self._obs_balance_hist = self.observer.balance_hist
                 if self.observer.profile is not None:
                     # Shadow the bound method with the timed variant so
                     # the normal tick loop carries no profiling branch.
@@ -451,6 +460,10 @@ class System:
         self._rc_decay_dt = None
         self._rc_decays = []
         observer = self.observer
+        self._obs_audit = observer.audit if observer is not None else None
+        self._obs_balance_hist = (
+            observer.balance_hist if observer is not None else None
+        )
         if observer is not None:
             if observer.audit is not None:
                 observer.audit.rearm(lambda: self._now_ms)
@@ -1263,8 +1276,7 @@ class System:
     def _throttle_step(self, clock: Clock) -> None:
         if not self.config.throttle.enabled:
             return
-        observer = self.observer
-        audit = observer.audit if observer is not None else None
+        audit = self._obs_audit
         if self._dvfs_mode and self._dvfs_kind == "proactive":
             # Temperature-tracking DVFS: steer each package's *estimated*
             # die temperature (§4.2) toward its target instead of
@@ -1369,8 +1381,7 @@ class System:
             fires = tables[ticks % len(tables)]
             if not fires:
                 return
-            observer = self.observer
-            hist = observer.balance_hist if observer is not None else None
+            hist = self._obs_balance_hist
             runqueues = self.runqueues
             policy = self.policy
             for c, mask in fires:
@@ -1384,8 +1395,7 @@ class System:
                 if mask & 4:
                     policy.check_active_migration(c)
             return
-        observer = self.observer
-        hist = observer.balance_hist if observer is not None else None
+        hist = self._obs_balance_hist
         for c in range(self.n_cpus):
             rq = self.runqueues[c]
             phase = ticks + c * 3
@@ -1440,11 +1450,11 @@ class System:
                 detail={"src": src, "dst": dst, "reason": reason},
             )
         )
-        observer = self.observer
-        if observer is not None and observer.audit is not None:
+        audit = self._obs_audit
+        if audit is not None:
             # Exactly one outcome record per committed migration; the
             # decision sites record the comparisons that led here.
-            observer.audit.record(
+            audit.record(
                 site="migration",
                 cpu=src,
                 pid=task.pid,

@@ -277,6 +277,7 @@ def run_tournament(
     cache=None,
     check_oracle: bool = True,
     progress: ProgressFn | None = None,
+    bus=None,
 ) -> dict:
     """Race every policy on every scenario; return the payload.
 
@@ -293,7 +294,8 @@ def run_tournament(
     ]
     pairs = [(scen, pol) for scen in scenarios for pol in lineup]
     specs = [cell_spec(scen, pol, duration_s) for scen, pol in pairs]
-    report = run_grid(specs, workers=workers, cache=cache, progress=progress)
+    report = run_grid(specs, workers=workers, cache=cache, progress=progress,
+                      bus=bus)
     failures = report.failures
     if failures:
         details = "; ".join(
@@ -316,7 +318,8 @@ def run_tournament(
             for scen, pol in pairs
         ]
         scalar_report = run_grid(
-            scalar_specs, workers=workers, cache=cache, progress=progress
+            scalar_specs, workers=workers, cache=cache, progress=progress,
+            bus=bus,
         )
         scalar_failures = scalar_report.failures
         if scalar_failures:

@@ -206,3 +206,92 @@ class TestExplainCommand:
         with pytest.raises(SystemExit):
             main(["explain", "--file", quick_file, "--site", "karma"])
         assert "karma" in capsys.readouterr().err
+
+
+@pytest.fixture(scope="module")
+def baseline_file(tmp_path_factory):
+    """The baseline policy has no audited decision sites: the canonical
+    zero-record case for ``explain``."""
+    path = tmp_path_factory.mktemp("obs") / "baseline.json"
+    path.write_text(json.dumps({
+        "machine": {"preset": "smp", "n_cpus": 2},
+        "max_power_per_cpu_w": 60.0,
+        "seed": 3,
+        "workload": {"builder": "single_program", "program": "bitcnts",
+                     "n": 2},
+        "policy": "baseline",
+        "duration_s": 1.0,
+    }))
+    return str(path)
+
+
+class TestZeroRecordExits:
+    """``explain``/``trace`` must exit cleanly — helpful message, no
+    traceback — when a run yields nothing to report (ISSUE 9
+    satellite)."""
+
+    def test_explain_summary_zero_records(self, baseline_file, capsys):
+        code = main(["explain", "--file", baseline_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 audit records" in out
+        assert "no scheduler decisions fired" in out
+        assert "Traceback" not in out
+
+    def test_explain_summary_zero_records_json(self, baseline_file, capsys):
+        code = main(["explain", "--file", baseline_file, "--json"])
+        assert code == 0
+        payload = _envelope(capsys)
+        assert payload["records"] == 0
+        assert payload["sites"] == {}
+
+    def test_explain_filtered_zero_records(self, baseline_file, capsys):
+        code = main(["explain", "--file", baseline_file,
+                     "--site", "migration"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "0 record(s) matched" in captured.err
+
+    def test_explain_filter_miss_hints_at_summary(self, quick_file,
+                                                  capsys):
+        """Records exist but the filter matches none: point the user at
+        the summary mode instead of printing nothing."""
+        code = main(["explain", "--file", quick_file,
+                     "--site", "migration"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "0 record(s) matched" in captured.err
+        assert "hint:" in captured.err
+
+    def test_trace_zero_events_notes_and_exports_empty(
+            self, quick_file, capsys, monkeypatch):
+        """Zero trace events stays a valid (empty) export plus a stderr
+        note, not a crash.  No parseable scenario produces an empty
+        stream naturally, so stub the tracer."""
+        import types
+
+        from repro.api import SimulationResult
+
+        monkeypatch.setattr(
+            SimulationResult, "tracer",
+            property(lambda self: types.SimpleNamespace(events=[])))
+        code = main(["trace", "--file", quick_file, "--format", "events"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "recorded no trace events" in captured.err
+        assert json.loads(captured.out)["events"] == []
+
+    def test_trace_unavailable_export_is_clean_error(
+            self, quick_file, capsys, monkeypatch):
+        from repro.api import SimulationResult
+
+        def unavailable(self):
+            raise ValueError("no metrics: run with obs=True to record them")
+
+        monkeypatch.setattr(SimulationResult, "metrics_snapshot",
+                            unavailable)
+        code = main(["trace", "--file", quick_file, "--format", "metrics"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "cannot export metrics telemetry" in captured.err
+        assert "Traceback" not in captured.err

@@ -1,0 +1,288 @@
+"""Perf-regression ledger: entries, durability, and regression detection.
+
+The acceptance bar (ISSUE 9): ``repro perf --compare`` must detect an
+artificially injected slowdown, compare an entry against itself with
+zero regressions, and attribute a headline delta to the tick phases
+that slowed down.  These tests drive both the library and the CLI with
+a synthetic-but-schema-true payload so no benchmark actually runs.
+"""
+
+import copy
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.perf.history import (
+    DEFAULT_THRESHOLD,
+    HISTORY_SCHEMA,
+    append_history,
+    compare_entries,
+    format_compare,
+    history_entry,
+    load_history,
+    payload_digest,
+    profile_diff,
+    resolve_reference,
+)
+
+
+def _payload(fast=9000.0, scalar=4000.0, housekeeping_s=0.1):
+    """A minimal ``repro-perf/3``-shaped payload."""
+    def scenario(name, f, s):
+        return {
+            "name": name,
+            "duration_s": 60.0,
+            "summaries_identical": True,
+            "timing": {
+                "fast_ticks_per_s": f,
+                "scalar_ticks_per_s": s,
+                "speedup_vs_scalar": f / s,
+                "fast_wall_s": 1.0,
+                "scalar_wall_s": 2.0,
+            },
+        }
+
+    return {
+        "schema": "repro-perf/3",
+        "all_summaries_identical": True,
+        "headline": scenario("mixed-16cpu", fast, scalar),
+        "scenarios": [
+            scenario("mixed-16cpu", fast, scalar),
+            scenario("throttle-hlt", 8000.0, 3500.0),
+        ],
+        "fleet": {
+            "name": "fleet-steady-64",
+            "n_machines": 64,
+            "members_identical": True,
+            "timing": {
+                "fleet_machine_ticks_per_s": 240_000.0,
+                "speedup_vs_per_job": 11.0,
+            },
+        },
+        "self_profile": {
+            "name": "mixed-16cpu",
+            "duration_s": 10.0,
+            "fast": {
+                "ticks": 1000,
+                "timed_total_s": 0.5,
+                "phases": {
+                    "execute": {"total_s": 0.3, "calls": 1000,
+                                "mean_us": 300.0, "fraction": 0.6},
+                    "housekeeping": {"total_s": housekeeping_s,
+                                     "calls": 1000, "mean_us": 100.0,
+                                     "fraction": 0.2},
+                },
+            },
+        },
+    }
+
+
+class TestHistoryEntry:
+    def test_entry_shape(self):
+        entry = history_entry(_payload(), note="probe")
+        assert entry["schema"] == HISTORY_SCHEMA
+        assert entry["headline"]["fast_ticks_per_s"] == 9000.0
+        assert entry["scenarios"]["throttle-hlt"]["fast_ticks_per_s"] == 8000.0
+        assert entry["fleet"]["fleet_machine_ticks_per_s"] == 240_000.0
+        assert "housekeeping" in entry["self_profile"]["fast_phases"]
+        assert entry["note"] == "probe"
+
+    def test_digest_ignores_timings(self):
+        """Only the deterministic subset feeds the digest: a slower run
+        of the same workload keeps the digest, a workload change breaks
+        it."""
+        base = _payload()
+        slower = _payload(fast=5000.0)
+        assert payload_digest(base) == payload_digest(slower)
+        other = _payload()
+        other["scenarios"][1]["name"] = "throttle-dvfs"
+        assert payload_digest(base) != payload_digest(other)
+
+
+class TestLedgerDurability:
+    def test_append_load_round_trip(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        append_history(_payload(), path, note="first")
+        append_history(_payload(fast=9100.0), path)
+        entries = load_history(path)
+        assert len(entries) == 2
+        assert entries[0]["note"] == "first"
+        assert entries[1]["headline"]["fast_ticks_per_s"] == 9100.0
+
+    def test_torn_tail_skipped(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        append_history(_payload(), path)
+        with open(path, "ab") as fh:
+            fh.write(b'{"schema": "repro-history/1", "t": 1')
+        assert len(load_history(path)) == 1
+
+    def test_foreign_lines_ignored(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        with open(path, "w") as fh:
+            fh.write('{"schema": "something-else/9"}\n')
+        append_history(_payload(), path)
+        assert len(load_history(path)) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "never.jsonl") == []
+
+
+class TestResolveReference:
+    def _entries(self, n):
+        return [history_entry(_payload(fast=9000.0 + i)) for i in range(n)]
+
+    def test_default_is_previous(self):
+        entries = self._entries(3)
+        current, reference = resolve_reference(entries)
+        assert current is entries[-1]
+        assert reference is entries[-2]
+
+    def test_offset(self):
+        entries = self._entries(4)
+        _cur, reference = resolve_reference(entries, "3")
+        assert reference is entries[0]
+
+    def test_digest_prefix(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        append_history(_payload(), path, note="target")
+        other = _payload()
+        other["scenarios"][1]["name"] = "throttle-dvfs"
+        append_history(other, path)
+        append_history(other, path)
+        entries = load_history(path)
+        prefix = entries[0]["digest"][:10]
+        _cur, reference = resolve_reference(entries, prefix)
+        assert reference["note"] == "target"
+
+    def test_too_few_entries(self):
+        with pytest.raises(ValueError, match="at least two"):
+            resolve_reference(self._entries(1))
+
+    def test_out_of_range_offset(self):
+        with pytest.raises(ValueError, match="out of range"):
+            resolve_reference(self._entries(2), "5")
+
+    def test_unknown_digest(self):
+        with pytest.raises(ValueError, match="digest prefix"):
+            resolve_reference(self._entries(2), "feedfacecafe")
+
+
+class TestCompare:
+    def test_detects_injected_slowdown(self):
+        reference = history_entry(_payload())
+        current = history_entry(_payload(fast=6000.0))  # -33 %
+        report = compare_entries(current, reference)
+        assert report["comparable"] is True
+        assert report["regressions"] == ["mixed-16cpu"]
+        row = next(r for r in report["scenarios"]
+                   if r["scenario"] == "mixed-16cpu")
+        assert row["regressed"] is True
+        assert row["delta"] == pytest.approx(-1 / 3)
+
+    def test_self_compare_is_clean(self):
+        entry = history_entry(_payload())
+        report = compare_entries(entry, entry)
+        assert report["regressions"] == []
+        assert all(not r["regressed"] for r in report["scenarios"])
+        assert report["fleet"]["regressed"] is False
+
+    def test_noise_below_threshold_not_flagged(self):
+        reference = history_entry(_payload())
+        wobble = history_entry(_payload(fast=9000.0 * 0.85))  # -15 %
+        report = compare_entries(wobble, reference,
+                                 threshold=DEFAULT_THRESHOLD)
+        assert report["regressions"] == []
+
+    def test_fleet_regression_flagged(self):
+        reference = history_entry(_payload())
+        slow = _payload()
+        slow["fleet"]["timing"]["fleet_machine_ticks_per_s"] = 100_000.0
+        report = compare_entries(history_entry(slow), reference)
+        assert report["regressions"] == ["fleet-steady-64"]
+
+    def test_digest_mismatch_marked_incomparable(self):
+        reference = history_entry(_payload())
+        other = _payload()
+        other["scenarios"][1]["name"] = "throttle-dvfs"
+        report = compare_entries(history_entry(other), reference)
+        assert report["comparable"] is False
+        assert "digests differ" in format_compare(report)
+
+    def test_negative_threshold_rejected(self):
+        entry = history_entry(_payload())
+        with pytest.raises(ValueError):
+            compare_entries(entry, entry, threshold=-0.1)
+
+
+class TestProfileDiff:
+    def test_attributes_delta_to_slowed_phase(self):
+        reference = history_entry(_payload(housekeeping_s=0.1))
+        current = history_entry(_payload(housekeeping_s=0.3))
+        rows = profile_diff(current, reference)
+        assert rows[0]["phase"] == "housekeeping"
+        assert rows[0]["delta_s"] == pytest.approx(0.2)
+        assert rows[0]["share_of_change"] == pytest.approx(1.0)
+
+    def test_empty_without_profiles(self):
+        bare = history_entry(_payload())
+        del bare["self_profile"]
+        assert profile_diff(bare, history_entry(_payload())) == []
+
+    def test_formatted_report_names_the_phase(self):
+        reference = history_entry(_payload(housekeeping_s=0.1))
+        current = history_entry(
+            _payload(fast=6000.0, housekeeping_s=0.3))
+        text = format_compare(compare_entries(current, reference))
+        assert "REGRESSED" in text
+        assert "housekeeping" in text
+        assert "phase attribution" in text
+
+
+class TestCompareCli:
+    def _run(self, tmp_path, *argv):
+        import pathlib
+
+        src = pathlib.Path(__file__).resolve().parent.parent / "src"
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+            cwd=tmp_path,
+        )
+
+    def test_cli_detects_injected_slowdown(self, tmp_path):
+        hist = tmp_path / "BENCH_history.jsonl"
+        append_history(_payload(), hist, note="baseline")
+        append_history(_payload(fast=5000.0), hist)
+        proc = self._run(tmp_path, "perf", "--compare",
+                         "--history", str(hist))
+        assert proc.returncode == 1
+        assert "REGRESSED" in proc.stdout
+        assert "mixed-16cpu" in proc.stdout
+
+    def test_cli_self_compare_clean(self, tmp_path):
+        hist = tmp_path / "BENCH_history.jsonl"
+        append_history(_payload(), hist)
+        append_history(_payload(), hist)
+        proc = self._run(tmp_path, "perf", "--compare",
+                         "--history", str(hist))
+        assert proc.returncode == 0
+        assert "no regressions" in proc.stdout
+
+    def test_cli_json_envelope(self, tmp_path):
+        hist = tmp_path / "BENCH_history.jsonl"
+        append_history(_payload(), hist)
+        append_history(_payload(fast=5000.0), hist)
+        proc = self._run(tmp_path, "perf", "--compare",
+                         "--history", str(hist), "--json")
+        payload = json.loads(proc.stdout)["payload"]
+        assert payload["regressions"] == ["mixed-16cpu"]
+
+    def test_cli_missing_ledger_clean_error(self, tmp_path):
+        proc = self._run(tmp_path, "perf", "--compare",
+                         "--history", str(tmp_path / "none.jsonl"))
+        assert proc.returncode == 1
+        assert "no history" in proc.stderr
+        assert "Traceback" not in proc.stderr

@@ -26,6 +26,11 @@ build failures instead of review comments:
    ``repro.scenarios`` must appear in ``docs/scenarios.md``'s family
    table, with its fleet-eligibility documented consistently.
 
+5. **Undocumented run events.** Every event kind the telemetry bus
+   can carry (``repro.obs.events.EVENT_KINDS``) must appear in the
+   kind catalog of ``docs/live_telemetry.md``, and the doc must not
+   list kinds the bus no longer knows.
+
 Run: python tools/check_docs.py   (exit 1 on any drift)
 """
 
@@ -43,6 +48,7 @@ PERF_DOC = REPO / "docs" / "performance.md"
 ARCH_DOC = REPO / "docs" / "architecture.md"
 POLICIES_DOC = REPO / "docs" / "policies.md"
 SCENARIOS_DOC = REPO / "docs" / "scenarios.md"
+TELEMETRY_DOC = REPO / "docs" / "live_telemetry.md"
 
 errors: list[str] = []
 
@@ -180,17 +186,39 @@ def check_scenario_families() -> None:
             )
 
 
+def check_event_kinds() -> None:
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.obs.events import EVENT_KINDS
+
+    doc_text = TELEMETRY_DOC.read_text()
+    documented = re.findall(r"^\| `([a-z_]+)` \|", doc_text, re.M)
+    for kind in EVENT_KINDS:
+        if kind not in documented:
+            errors.append(
+                f"{TELEMETRY_DOC.name}: event kind {kind!r} is missing "
+                "from the kind catalog table"
+            )
+    for kind in documented:
+        if kind not in EVENT_KINDS:
+            errors.append(
+                f"{TELEMETRY_DOC.name}: kind catalog lists {kind!r}, "
+                "which repro.obs.events.EVENT_KINDS does not define"
+            )
+
+
 def main() -> int:
     check_perf_numbers()
     check_policy_numbers()
     check_subpackage_coverage()
     check_scenario_families()
+    check_event_kinds()
     if errors:
         for err in errors:
             print(f"error: {err}", file=sys.stderr)
         return 1
     print("docs are consistent with BENCH_perf.json, "
-          "BENCH_policies.json, repro.scenarios, and src/repro/")
+          "BENCH_policies.json, repro.scenarios, repro.obs.events, "
+          "and src/repro/")
     return 0
 
 

@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""CI smoke test for the live telemetry endpoint.
+
+Starts a real sweep with ``--serve-metrics`` and ``--events``, then —
+while the sweep is still running — scrapes the endpoint the way a
+Prometheus server would and asserts:
+
+1. the scrape is well-formed exposition text (every sample line parses,
+   the ``repro_live_*`` family is present);
+2. the ``/snapshot`` JSON carries the ``repro-metrics/1`` schema with a
+   live section whose counts are internally consistent;
+3. at least one mid-flight scrape observes the sweep in progress;
+4. after the sweep exits, the durable event stream holds exactly one
+   ``grid_started``/``grid_finished`` pair and at least one
+   ``job_finished`` event.
+
+Exits non-zero with a diagnostic on any failure.  Needs only the repo
+checkout (``python tools/live_smoke.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs import count_by_kind, read_events  # noqa: E402
+
+SEEDS = "1..6"
+SCENARIO = {
+    "name": "live-smoke",
+    "machine": {"preset": "cmp", "packages": 1, "cores": 2, "smt": False},
+    "workload": {"builder": "steady_mix", "copies": 1},
+    "policy": "energy",
+    "duration_s": 20.0,
+}
+
+#: ``metric_name{labels} value`` or ``metric_name value``.
+SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?(\d+\.?\d*([eE][+-]?\d+)?|nan|inf)$"
+)
+
+URL_LINE = re.compile(r"live telemetry: (http://127\.0\.0\.1:\d+)/metrics")
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def get(url: str) -> bytes:
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.read()
+
+
+def check_exposition(text: str) -> None:
+    names = set()
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        if not SAMPLE_LINE.match(line):
+            fail(f"malformed exposition line: {line!r}")
+        names.add(line.split("{")[0].split(" ")[0])
+    for required in ("repro_live_jobs_total", "repro_live_jobs_done"):
+        if required not in names:
+            fail(f"scrape is missing {required} (got {sorted(names)})")
+
+
+def main() -> int:
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="live-smoke-"))
+    scenario_path = workdir / "scenario.json"
+    scenario_path.write_text(json.dumps(SCENARIO))
+    events_path = workdir / "events.jsonl"
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "sweep",
+         "--scenario", str(scenario_path), "--seeds", SEEDS,
+         "--workers", "2", "--no-cache",
+         "--serve-metrics", "0", "--events", str(events_path)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+    )
+
+    # The driver prints the ephemeral endpoint URL to stderr first.
+    base = None
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        line = proc.stderr.readline()
+        if not line:
+            break
+        match = URL_LINE.search(line)
+        if match:
+            base = match.group(1)
+            break
+    if base is None:
+        proc.kill()
+        fail("driver never announced the live endpoint URL")
+    print(f"endpoint: {base}")
+
+    # Scrape mid-sweep until the run finishes; every scrape must be
+    # well-formed, and at least one must land while jobs are pending.
+    scrapes = 0
+    saw_midflight = False
+    last_live: dict = {}
+    while proc.poll() is None:
+        try:
+            text = get(f"{base}/metrics").decode()
+            snapshot = json.loads(get(f"{base}/snapshot"))
+        except OSError:
+            break  # endpoint shut down as the sweep finished
+        check_exposition(text)
+        if snapshot.get("schema") != "repro-metrics/1":
+            fail(f"snapshot schema: {snapshot.get('schema')!r}")
+        live = snapshot.get("live", {})
+        if live.get("jobs_done", 0) > live.get("jobs_total", 0):
+            fail(f"jobs_done exceeds jobs_total: {live}")
+        if live.get("jobs_done", 0) < live.get("jobs_total", 0):
+            saw_midflight = True
+        last_live = live
+        scrapes += 1
+        time.sleep(0.2)
+
+    stdout, stderr = proc.communicate(timeout=120)
+    if proc.returncode != 0:
+        fail(f"sweep exited {proc.returncode}:\n{stderr}")
+    if scrapes == 0:
+        fail("never completed a scrape while the sweep ran")
+    if not saw_midflight:
+        fail("every scrape saw a finished grid; sweep too short to "
+             "observe mid-flight — raise duration_s")
+    print(f"{scrapes} scrape(s), last live section: "
+          f"{json.dumps(last_live, sort_keys=True)}")
+
+    counts = count_by_kind(read_events(events_path))
+    print(f"event stream: {counts}")
+    if counts.get("grid_started") != 1 or counts.get("grid_finished") != 1:
+        fail(f"expected exactly one grid_started/grid_finished pair: "
+             f"{counts}")
+    if counts.get("job_finished", 0) < 1:
+        fail(f"no job_finished events in the durable stream: {counts}")
+
+    print("live telemetry smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
